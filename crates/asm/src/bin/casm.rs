@@ -1,0 +1,104 @@
+//! `casm` — assemble a micro-ISA `.s` file and run it on the simulator.
+//!
+//! ```sh
+//! casm prog.s                       # run under the non-secure baseline
+//! casm prog.s --mode cleanupspec    # run under CleanupSpec
+//! casm prog.s --disasm              # print the round-tripped assembly
+//! casm prog.s --max-insts 100000
+//! ```
+
+use cleanupspec::modes::SecurityMode;
+use cleanupspec::sim::SimBuilder;
+use cleanupspec_asm::{assemble, disassemble};
+use cleanupspec_core::isa::Reg;
+use cleanupspec_core::system::RunLimits;
+use cleanupspec_mem::types::CoreId;
+use std::process::ExitCode;
+
+fn mode_by_name(name: &str) -> Option<SecurityMode> {
+    SecurityMode::ALL.into_iter().find(|m| m.name() == name)
+}
+
+fn usage() -> ExitCode {
+    eprintln!("usage: casm <file.s> [--mode <name>] [--disasm] [--max-insts N]");
+    eprintln!(
+        "modes: {}",
+        SecurityMode::ALL
+            .iter()
+            .map(|m| m.name())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut file = None;
+    let mut mode = SecurityMode::NonSecure;
+    let mut disasm = false;
+    let mut max_insts = u64::MAX;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--mode" => match it.next().and_then(|m| mode_by_name(m)) {
+                Some(m) => mode = m,
+                None => return usage(),
+            },
+            "--disasm" => disasm = true,
+            "--max-insts" => match it.next().and_then(|n| n.parse().ok()) {
+                Some(n) => max_insts = n,
+                None => return usage(),
+            },
+            f if !f.starts_with('-') && file.is_none() => file = Some(f.to_string()),
+            _ => return usage(),
+        }
+    }
+    let Some(file) = file else {
+        return usage();
+    };
+    let src = match std::fs::read_to_string(&file) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("casm: cannot read {file}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let program = match assemble(&file, &src) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("casm: {file}:{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if disasm {
+        print!("{}", disassemble(&program));
+        return ExitCode::SUCCESS;
+    }
+    let mut sim = SimBuilder::new(mode).program(program).build();
+    let reason = sim.run(RunLimits {
+        max_cycles: 100_000_000,
+        max_insts_per_core: max_insts,
+    });
+    let r = sim.report();
+    let s = &r.cores[0];
+    println!("mode         : {}", mode.name());
+    println!("stop         : {reason:?}");
+    println!("cycles       : {}", r.cycles);
+    println!("instructions : {}", s.committed_insts);
+    println!("IPC          : {:.3}", r.ipc());
+    println!("loads/stores : {} / {}", s.committed_loads, s.committed_stores);
+    println!("branches     : {} ({} mispredicted)", s.committed_branches, s.mispredicts);
+    println!("squashes     : {} ({} faults)", s.squashes, s.faults);
+    println!("L1 miss rate : {:.2}%", r.mem.l1_miss_rate() * 100.0);
+    println!(
+        "cleanup      : {} invals, {} restores, {} dropped fills",
+        r.mem.cleanup_invals, r.mem.cleanup_restores, r.mem.dropped_fills
+    );
+    println!("registers    :");
+    for n in 1..8 {
+        println!("  r{n} = {:#x}", sim.system().core(0).reg(Reg(n)));
+    }
+    let _ = CoreId(0);
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,292 @@
+//! Line-oriented lexer for the micro-ISA assembly language.
+//!
+//! The grammar is deliberately simple: one statement per line, `;` or `#`
+//! start a comment, labels end with `:`, directives start with `.`, and
+//! operands are separated by commas with optional `[reg + offset]` memory
+//! forms.
+
+use std::fmt;
+
+/// A lexed token.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Token {
+    /// Identifier: mnemonic, label reference, or directive payload.
+    Ident(String),
+    /// A label definition (`name:`).
+    LabelDef(String),
+    /// A directive (`.name`).
+    Directive(String),
+    /// Register `rN`.
+    Reg(u8),
+    /// Integer literal (decimal, hex `0x…`, or negative).
+    Int(i128),
+    /// `,`
+    Comma,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `=`
+    Equals,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::LabelDef(s) => write!(f, "{s}:"),
+            Token::Directive(s) => write!(f, ".{s}"),
+            Token::Reg(n) => write!(f, "r{n}"),
+            Token::Int(v) => write!(f, "{v}"),
+            Token::Comma => f.write_str(","),
+            Token::LBracket => f.write_str("["),
+            Token::RBracket => f.write_str("]"),
+            Token::Plus => f.write_str("+"),
+            Token::Minus => f.write_str("-"),
+            Token::Equals => f.write_str("="),
+        }
+    }
+}
+
+/// A lex error with its 1-based line number.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LexError {
+    /// 1-based source line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Lexes one source line into tokens (empty for blank/comment lines).
+pub fn lex_line(line_no: usize, src: &str) -> Result<Vec<Token>, LexError> {
+    let mut out = Vec::new();
+    let code = match src.find([';', '#']) {
+        Some(i) => &src[..i],
+        None => src,
+    };
+    let mut chars = code.char_indices().peekable();
+    while let Some(&(i, c)) = chars.peek() {
+        match c {
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            ',' => {
+                out.push(Token::Comma);
+                chars.next();
+            }
+            '[' => {
+                out.push(Token::LBracket);
+                chars.next();
+            }
+            ']' => {
+                out.push(Token::RBracket);
+                chars.next();
+            }
+            '+' => {
+                out.push(Token::Plus);
+                chars.next();
+            }
+            '=' => {
+                out.push(Token::Equals);
+                chars.next();
+            }
+            '-' => {
+                chars.next();
+                // negative literal
+                let start = chars.peek().map(|&(j, _)| j).unwrap_or(code.len());
+                let num =
+                    take_while(code, start, &mut chars, |c| c.is_ascii_alphanumeric() || c == '_');
+                if num.is_empty() {
+                    out.push(Token::Minus);
+                } else {
+                    let v = parse_int(&num).ok_or_else(|| LexError {
+                        line: line_no,
+                        message: format!("bad number '-{num}'"),
+                    })?;
+                    out.push(Token::Int(-v));
+                }
+            }
+            '.' => {
+                chars.next();
+                let start = chars.peek().map(|&(j, _)| j).unwrap_or(code.len());
+                let name = take_while(code, start, &mut chars, is_ident_char);
+                if name.is_empty() {
+                    return Err(LexError {
+                        line: line_no,
+                        message: "empty directive".into(),
+                    });
+                }
+                out.push(Token::Directive(name));
+            }
+            c if c.is_ascii_digit() => {
+                let num =
+                    take_while(code, i, &mut chars, |c| c.is_ascii_alphanumeric() || c == '_');
+                let v = parse_int(&num).ok_or_else(|| LexError {
+                    line: line_no,
+                    message: format!("bad number '{num}'"),
+                })?;
+                out.push(Token::Int(v));
+            }
+            c if is_ident_char(c) => {
+                let word = take_while(code, i, &mut chars, is_ident_char);
+                // Label definition?
+                if let Some(&(_, ':')) = chars.peek() {
+                    chars.next();
+                    out.push(Token::LabelDef(word));
+                } else if let Some(n) = parse_reg(&word) {
+                    out.push(Token::Reg(n));
+                } else {
+                    out.push(Token::Ident(word));
+                }
+            }
+            other => {
+                return Err(LexError {
+                    line: line_no,
+                    message: format!("unexpected character '{other}'"),
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+fn take_while(
+    src: &str,
+    start: usize,
+    chars: &mut std::iter::Peekable<std::str::CharIndices<'_>>,
+    pred: impl Fn(char) -> bool,
+) -> String {
+    let mut end = start;
+    while let Some(&(j, c)) = chars.peek() {
+        if pred(c) {
+            end = j + c.len_utf8();
+            chars.next();
+        } else {
+            break;
+        }
+    }
+    src[start..end].to_string()
+}
+
+fn parse_int(s: &str) -> Option<i128> {
+    let s = s.replace('_', "");
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        i128::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+fn parse_reg(word: &str) -> Option<u8> {
+    let rest = word.strip_prefix('r')?;
+    let n: u8 = rest.parse().ok()?;
+    (n < 32).then_some(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_instruction_line() {
+        let t = lex_line(1, "  add r2, r1, 0x10  ; comment").unwrap();
+        assert_eq!(
+            t,
+            vec![
+                Token::Ident("add".into()),
+                Token::Reg(2),
+                Token::Comma,
+                Token::Reg(1),
+                Token::Comma,
+                Token::Int(0x10),
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_memory_operand() {
+        let t = lex_line(1, "ld r2, [r1 + 8]").unwrap();
+        assert_eq!(
+            t,
+            vec![
+                Token::Ident("ld".into()),
+                Token::Reg(2),
+                Token::Comma,
+                Token::LBracket,
+                Token::Reg(1),
+                Token::Plus,
+                Token::Int(8),
+                Token::RBracket,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_labels_and_directives() {
+        assert_eq!(
+            lex_line(1, "loop:").unwrap(),
+            vec![Token::LabelDef("loop".into())]
+        );
+        assert_eq!(
+            lex_line(1, ".reg r1 = 5").unwrap(),
+            vec![
+                Token::Directive("reg".into()),
+                Token::Reg(1),
+                Token::Equals,
+                Token::Int(5),
+            ]
+        );
+    }
+
+    #[test]
+    fn negative_and_hex_numbers() {
+        assert_eq!(lex_line(1, "-42").unwrap(), vec![Token::Int(-42)]);
+        assert_eq!(lex_line(1, "0xFF").unwrap(), vec![Token::Int(255)]);
+        assert_eq!(lex_line(1, "1_000").unwrap(), vec![Token::Int(1000)]);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_empty() {
+        assert!(lex_line(1, "").unwrap().is_empty());
+        assert!(lex_line(1, "   # only a comment").unwrap().is_empty());
+        assert!(lex_line(1, " ; also").unwrap().is_empty());
+    }
+
+    #[test]
+    fn register_bounds() {
+        assert_eq!(lex_line(1, "r31").unwrap(), vec![Token::Reg(31)]);
+        // r32 is a plain identifier, not a register.
+        assert_eq!(
+            lex_line(1, "r32").unwrap(),
+            vec![Token::Ident("r32".into())]
+        );
+    }
+
+    #[test]
+    fn bad_number_errors_with_line() {
+        let e = lex_line(7, "0xZZ").unwrap_err();
+        assert_eq!(e.line, 7);
+        assert!(e.message.contains("bad number"));
+    }
+
+    #[test]
+    fn unexpected_character_errors() {
+        assert!(lex_line(1, "add @r1").is_err());
+    }
+}

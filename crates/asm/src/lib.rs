@@ -1,0 +1,33 @@
+//! # cleanupspec-asm
+//!
+//! Assembler, disassembler, and CLI runner for the micro-ISA of the
+//! CleanupSpec reproduction. Lets attack kernels and test programs be
+//! written as plain `.s` files and executed under any [`SecurityMode`]:
+//!
+//! ```
+//! use cleanupspec_asm::assemble;
+//! use cleanupspec::prelude::*;
+//!
+//! let program = assemble("demo", r"
+//!     .reg r1 = 0x1000
+//!     ld r2, [r1]
+//!     halt
+//! ").expect("valid assembly");
+//! let mut sim = SimBuilder::new(SecurityMode::CleanupSpec)
+//!     .program(program)
+//!     .build();
+//! sim.run_to_completion();
+//! assert_eq!(sim.report().cores[0].committed_loads, 1);
+//! ```
+//!
+//! [`SecurityMode`]: cleanupspec::modes::SecurityMode
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod disasm;
+pub mod lexer;
+pub mod parser;
+
+pub use disasm::disassemble;
+pub use parser::{assemble, AsmError};

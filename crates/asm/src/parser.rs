@@ -1,0 +1,541 @@
+//! Two-pass assembler: tokens → [`Program`].
+//!
+//! Pass 1 collects label addresses (instruction indices); pass 2 emits
+//! instructions and resolves label references. Directives set initial
+//! registers/memory, protected ranges, and the fault handler.
+//!
+//! # Instruction set
+//!
+//! ```text
+//! movi rD, imm              ; rD = imm
+//! add|sub|mul|and|or|xor|shl|shr rD, rS, (rT|imm)
+//! ld rD, [rB + off]         ; load (offset optional)
+//! st rS, [rB + off]         ; store
+//! beq rS, label             ; branch if rS == 0
+//! bne rS, label             ; branch if rS != 0
+//! blt rS, label             ; branch if rS < 0 (signed)
+//! jmp label | call label | ret
+//! clflush [rB + off]
+//! fence | nop | halt
+//! ```
+//!
+//! # Directives
+//!
+//! ```text
+//! .reg rN = value           ; initial register value
+//! .word addr = v0 v1 ...    ; initial memory words (8 bytes apart)
+//! .protect start end        ; protected range [start, end)
+//! .fault_handler label      ; exception handler
+//! .entry label              ; program entry point
+//! ```
+
+use crate::lexer::{lex_line, LexError, Token};
+use cleanupspec_core::isa::{AluOp, BranchCond, Inst, Operand, Pc, Program, Reg};
+use cleanupspec_mem::types::Addr;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Assembly error with a 1-based line number.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based source line.
+    pub line: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+impl From<LexError> for AsmError {
+    fn from(e: LexError) -> Self {
+        AsmError {
+            line: e.line,
+            message: e.message,
+        }
+    }
+}
+
+fn err<T>(line: usize, message: impl Into<String>) -> Result<T, AsmError> {
+    Err(AsmError {
+        line,
+        message: message.into(),
+    })
+}
+
+/// A parsed statement before label resolution.
+#[derive(Clone, Debug)]
+enum Stmt {
+    Inst(Inst),
+    /// Branch-like instruction with an unresolved label target.
+    BranchTo {
+        template: Inst,
+        label: String,
+    },
+}
+
+/// Assembles source text into a [`Program`].
+///
+/// # Errors
+/// Returns an [`AsmError`] with the offending line for syntax errors,
+/// unknown mnemonics/labels, duplicate labels, or malformed directives.
+pub fn assemble(name: &str, src: &str) -> Result<Program, AsmError> {
+    let mut labels: HashMap<String, Pc> = HashMap::new();
+    let mut stmts: Vec<(usize, Stmt)> = Vec::new();
+    let mut init_regs = Vec::new();
+    let mut init_mem = Vec::new();
+    let mut protected = Vec::new();
+    let mut fault_label: Option<(usize, String)> = None;
+    let mut entry_label: Option<(usize, String)> = None;
+
+    // Pass 1: lex, collect labels, parse statements and directives.
+    for (i, raw) in src.lines().enumerate() {
+        let line = i + 1;
+        let mut toks = lex_line(line, raw)?;
+        // A line may start with any number of label definitions.
+        while let Some(Token::LabelDef(l)) = toks.first().cloned() {
+            if labels.insert(l.clone(), stmts.len()).is_some() {
+                return err(line, format!("duplicate label '{l}'"));
+            }
+            toks.remove(0);
+        }
+        if toks.is_empty() {
+            continue;
+        }
+        match &toks[0] {
+            Token::Directive(d) => match d.as_str() {
+                "reg" => {
+                    let (r, v) = parse_reg_directive(line, &toks[1..])?;
+                    init_regs.push((r, v));
+                }
+                "word" => {
+                    let (addr, values) = parse_word_directive(line, &toks[1..])?;
+                    for (k, v) in values.into_iter().enumerate() {
+                        init_mem.push((Addr::new(addr + k as u64 * 8), v));
+                    }
+                }
+                "protect" => {
+                    let (s, e) = parse_two_ints(line, &toks[1..])?;
+                    protected.push((Addr::new(s), Addr::new(e)));
+                }
+                "fault_handler" => {
+                    let l = parse_one_ident(line, &toks[1..])?;
+                    fault_label = Some((line, l));
+                }
+                "entry" => {
+                    let l = parse_one_ident(line, &toks[1..])?;
+                    entry_label = Some((line, l));
+                }
+                other => return err(line, format!("unknown directive '.{other}'")),
+            },
+            Token::Ident(_) => {
+                let stmt = parse_inst(line, &toks)?;
+                stmts.push((line, stmt));
+            }
+            t => return err(line, format!("unexpected token '{t}'")),
+        }
+    }
+
+    // Pass 2: resolve labels.
+    let mut insts = Vec::with_capacity(stmts.len());
+    for (line, stmt) in stmts {
+        match stmt {
+            Stmt::Inst(i) => insts.push(i),
+            Stmt::BranchTo { template, label } => {
+                let target = *labels
+                    .get(&label)
+                    .ok_or_else(|| AsmError {
+                        line,
+                        message: format!("unknown label '{label}'"),
+                    })?;
+                insts.push(match template {
+                    Inst::Branch { src, cond, .. } => Inst::Branch { src, cond, target },
+                    Inst::Jump { .. } => Inst::Jump { target },
+                    Inst::Call { .. } => Inst::Call { target },
+                    other => other,
+                });
+            }
+        }
+    }
+
+    let mut p = Program::new(name, insts);
+    p.init_regs = init_regs;
+    p.init_mem = init_mem;
+    p.protected_ranges = protected;
+    if let Some((line, l)) = fault_label {
+        p.fault_handler = Some(*labels.get(&l).ok_or_else(|| AsmError {
+            line,
+            message: format!("unknown fault handler label '{l}'"),
+        })?);
+    }
+    if let Some((line, l)) = entry_label {
+        p.entry = *labels.get(&l).ok_or_else(|| AsmError {
+            line,
+            message: format!("unknown entry label '{l}'"),
+        })?;
+    }
+    Ok(p)
+}
+
+fn parse_inst(line: usize, toks: &[Token]) -> Result<Stmt, AsmError> {
+    let Token::Ident(m) = &toks[0] else {
+        return err(line, "expected mnemonic");
+    };
+    let rest = &toks[1..];
+    let alu = |op: AluOp| -> Result<Stmt, AsmError> {
+        let (d, s, o) = parse_dss(line, rest)?;
+        Ok(Stmt::Inst(Inst::Alu {
+            dst: d,
+            src1: Operand::Reg(s),
+            src2: o,
+            op,
+            latency: if op == AluOp::Mul { 3 } else { 1 },
+        }))
+    };
+    match m.as_str() {
+        "nop" => Ok(Stmt::Inst(Inst::Nop)),
+        "halt" => Ok(Stmt::Inst(Inst::Halt)),
+        "fence" => Ok(Stmt::Inst(Inst::Fence)),
+        "ret" => Ok(Stmt::Inst(Inst::Ret)),
+        "movi" => {
+            let (d, v) = parse_reg_imm(line, rest)?;
+            Ok(Stmt::Inst(Inst::Alu {
+                dst: d,
+                src1: Operand::Imm(v),
+                src2: Operand::Imm(0),
+                op: AluOp::Add,
+                latency: 1,
+            }))
+        }
+        "add" => alu(AluOp::Add),
+        "sub" => alu(AluOp::Sub),
+        "mul" => alu(AluOp::Mul),
+        "and" => alu(AluOp::And),
+        "or" => alu(AluOp::Or),
+        "xor" => alu(AluOp::Xor),
+        "shl" => alu(AluOp::Shl),
+        "shr" => alu(AluOp::Shr),
+        "ld" => {
+            let (d, b, off) = parse_reg_mem(line, rest)?;
+            Ok(Stmt::Inst(Inst::Load {
+                dst: d,
+                base: b,
+                offset: off,
+            }))
+        }
+        "st" => {
+            let (s, b, off) = parse_reg_mem(line, rest)?;
+            Ok(Stmt::Inst(Inst::Store {
+                src: s,
+                base: b,
+                offset: off,
+            }))
+        }
+        "clflush" => {
+            let (b, off) = parse_mem(line, rest)?;
+            Ok(Stmt::Inst(Inst::Clflush { base: b, offset: off }))
+        }
+        "beq" | "bne" | "blt" => {
+            let (r, label) = parse_reg_label(line, rest)?;
+            let cond = match m.as_str() {
+                "beq" => BranchCond::Zero,
+                "bne" => BranchCond::NotZero,
+                _ => BranchCond::Negative,
+            };
+            Ok(Stmt::BranchTo {
+                template: Inst::Branch {
+                    src: r,
+                    cond,
+                    target: 0,
+                },
+                label,
+            })
+        }
+        "jmp" => {
+            let label = parse_one_ident(line, rest)?;
+            Ok(Stmt::BranchTo {
+                template: Inst::Jump { target: 0 },
+                label,
+            })
+        }
+        "call" => {
+            let label = parse_one_ident(line, rest)?;
+            Ok(Stmt::BranchTo {
+                template: Inst::Call { target: 0 },
+                label,
+            })
+        }
+        other => err(line, format!("unknown mnemonic '{other}'")),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Operand-shape helpers
+// ---------------------------------------------------------------------
+
+fn int_as_i64(line: usize, v: i128) -> Result<i64, AsmError> {
+    // Allow the full u64 range written as a positive literal.
+    if v >= 0 && v <= u64::MAX as i128 {
+        Ok(v as u64 as i64)
+    } else {
+        i64::try_from(v).map_err(|_| AsmError {
+            line,
+            message: format!("immediate {v} out of range"),
+        })
+    }
+}
+
+fn parse_reg_imm(line: usize, t: &[Token]) -> Result<(Reg, i64), AsmError> {
+    match t {
+        [Token::Reg(d), Token::Comma, Token::Int(v)] => Ok((Reg(*d), int_as_i64(line, *v)?)),
+        _ => err(line, "expected 'rD, imm'"),
+    }
+}
+
+fn parse_dss(line: usize, t: &[Token]) -> Result<(Reg, Reg, Operand), AsmError> {
+    match t {
+        [Token::Reg(d), Token::Comma, Token::Reg(s), Token::Comma, Token::Reg(x)] => {
+            Ok((Reg(*d), Reg(*s), Operand::Reg(Reg(*x))))
+        }
+        [Token::Reg(d), Token::Comma, Token::Reg(s), Token::Comma, Token::Int(v)] => {
+            Ok((Reg(*d), Reg(*s), Operand::Imm(int_as_i64(line, *v)?)))
+        }
+        _ => err(line, "expected 'rD, rS, (rT|imm)'"),
+    }
+}
+
+fn parse_mem(line: usize, t: &[Token]) -> Result<(Reg, i64), AsmError> {
+    match t {
+        [Token::LBracket, Token::Reg(b), Token::RBracket] => Ok((Reg(*b), 0)),
+        [Token::LBracket, Token::Reg(b), Token::Plus, Token::Int(off), Token::RBracket] => {
+            Ok((Reg(*b), int_as_i64(line, *off)?))
+        }
+        [Token::LBracket, Token::Reg(b), Token::Int(off), Token::RBracket] if *off < 0 => {
+            Ok((Reg(*b), *off as i64))
+        }
+        _ => err(line, "expected '[rB]' or '[rB + off]'"),
+    }
+}
+
+fn parse_reg_mem(line: usize, t: &[Token]) -> Result<(Reg, Reg, i64), AsmError> {
+    match t {
+        [Token::Reg(r), Token::Comma, rest @ ..] => {
+            let (b, off) = parse_mem(line, rest)?;
+            Ok((Reg(*r), b, off))
+        }
+        _ => err(line, "expected 'rX, [rB + off]'"),
+    }
+}
+
+fn parse_reg_label(line: usize, t: &[Token]) -> Result<(Reg, String), AsmError> {
+    match t {
+        [Token::Reg(r), Token::Comma, Token::Ident(l)] => Ok((Reg(*r), l.clone())),
+        _ => err(line, "expected 'rS, label'"),
+    }
+}
+
+fn parse_one_ident(line: usize, t: &[Token]) -> Result<String, AsmError> {
+    match t {
+        [Token::Ident(l)] => Ok(l.clone()),
+        _ => err(line, "expected a label name"),
+    }
+}
+
+fn parse_reg_directive(line: usize, t: &[Token]) -> Result<(Reg, u64), AsmError> {
+    match t {
+        [Token::Reg(r), Token::Equals, Token::Int(v)] => {
+            Ok((Reg(*r), int_as_i64(line, *v)? as u64))
+        }
+        _ => err(line, "expected '.reg rN = value'"),
+    }
+}
+
+fn parse_word_directive(line: usize, t: &[Token]) -> Result<(u64, Vec<u64>), AsmError> {
+    match t {
+        [Token::Int(a), Token::Equals, rest @ ..] if !rest.is_empty() => {
+            let addr = int_as_i64(line, *a)? as u64;
+            let mut vs = Vec::new();
+            for tok in rest {
+                match tok {
+                    Token::Int(v) => vs.push(int_as_i64(line, *v)? as u64),
+                    other => return err(line, format!("expected value, got '{other}'")),
+                }
+            }
+            Ok((addr, vs))
+        }
+        _ => err(line, "expected '.word addr = v0 [v1 ...]'"),
+    }
+}
+
+fn parse_two_ints(line: usize, t: &[Token]) -> Result<(u64, u64), AsmError> {
+    match t {
+        [Token::Int(a), Token::Int(b)] => Ok((
+            int_as_i64(line, *a)? as u64,
+            int_as_i64(line, *b)? as u64,
+        )),
+        _ => err(line, "expected two addresses"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assembles_counting_loop() {
+        let p = assemble(
+            "loop",
+            r"
+            .reg r1 = 5
+        top:
+            sub r1, r1, 1
+            bne r1, top
+            halt
+            ",
+        )
+        .unwrap();
+        assert_eq!(p.len(), 3);
+        assert_eq!(
+            p.fetch(1),
+            Inst::Branch {
+                src: Reg(1),
+                cond: BranchCond::NotZero,
+                target: 0
+            }
+        );
+        assert_eq!(p.init_regs, vec![(Reg(1), 5)]);
+    }
+
+    #[test]
+    fn forward_labels_resolve() {
+        let p = assemble(
+            "fwd",
+            r"
+            beq r2, done
+            movi r3, 1
+        done:
+            halt
+            ",
+        )
+        .unwrap();
+        assert_eq!(
+            p.fetch(0),
+            Inst::Branch {
+                src: Reg(2),
+                cond: BranchCond::Zero,
+                target: 2
+            }
+        );
+    }
+
+    #[test]
+    fn memory_forms_and_directives() {
+        let p = assemble(
+            "mem",
+            r"
+            .word 0x1000 = 7 8 9
+            .protect 0xF000 0xF040
+            movi r1, 0x1000
+            ld r2, [r1 + 8]
+            st r2, [r1]
+            clflush [r1 + 16]
+            fence
+            halt
+            ",
+        )
+        .unwrap();
+        assert_eq!(p.init_mem.len(), 3);
+        assert_eq!(p.init_mem[1], (Addr::new(0x1008), 8));
+        assert_eq!(p.protected_ranges, vec![(Addr::new(0xF000), Addr::new(0xF040))]);
+        assert_eq!(
+            p.fetch(1),
+            Inst::Load {
+                dst: Reg(2),
+                base: Reg(1),
+                offset: 8
+            }
+        );
+        assert!(p.is_protected(Addr::new(0xF020)));
+    }
+
+    #[test]
+    fn fault_handler_and_entry() {
+        let p = assemble(
+            "fh",
+            r"
+            .fault_handler handler
+            .entry main
+        handler:
+            halt
+        main:
+            movi r1, 1
+            halt
+            ",
+        )
+        .unwrap();
+        assert_eq!(p.fault_handler, Some(0));
+        assert_eq!(p.entry, 1);
+    }
+
+    #[test]
+    fn call_ret_assembles() {
+        let p = assemble(
+            "cr",
+            r"
+            call fun
+            halt
+        fun:
+            movi r1, 9
+            ret
+            ",
+        )
+        .unwrap();
+        assert_eq!(p.fetch(0), Inst::Call { target: 2 });
+        assert_eq!(p.fetch(3), Inst::Ret);
+    }
+
+    #[test]
+    fn error_cases_carry_line_numbers() {
+        let e = assemble("x", "movi r1").unwrap_err();
+        assert_eq!(e.line, 1);
+        let e = assemble("x", "\nfrobnicate r1, r2").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("unknown mnemonic"));
+        let e = assemble("x", "bne r1, nowhere\nhalt").unwrap_err();
+        assert!(e.message.contains("unknown label"));
+        let e = assemble("x", "a:\nhalt\na:\nhalt").unwrap_err();
+        assert!(e.message.contains("duplicate label"));
+        let e = assemble("x", ".bogus 1 2").unwrap_err();
+        assert!(e.message.contains("unknown directive"));
+    }
+
+    #[test]
+    fn negative_offsets() {
+        let p = assemble("neg", "movi r1, 0x100\nld r2, [r1 + -8]\nhalt").unwrap();
+        assert_eq!(
+            p.fetch(1),
+            Inst::Load {
+                dst: Reg(2),
+                base: Reg(1),
+                offset: -8
+            }
+        );
+    }
+
+    #[test]
+    fn large_u64_immediates() {
+        let p = assemble("big", "movi r1, 0xFFFFFFFFFFFFFFFF\nhalt").unwrap();
+        match p.fetch(0) {
+            Inst::Alu {
+                src1: Operand::Imm(v),
+                ..
+            } => assert_eq!(v as u64, u64::MAX),
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! Bonus experiment (beyond the paper's figures): a Meltdown-style
+//! exception-based attack, built with the micro-ISA's deferred permission
+//! check. The paper's Section 7.1 classifies exception-based attacks
+//! (Meltdown, Foreshadow) as in-scope: CleanupSpec breaks their cache
+//! transmission channel just as it does for Spectre.
+
+use cleanupspec::modes::SecurityMode;
+use cleanupspec_bench::fmt::table;
+use cleanupspec_workloads::attacks::run_meltdown;
+
+fn main() {
+    let iters: usize = std::env::var("CLEANUPSPEC_ATTACK_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(50);
+    println!("== Meltdown-style PoC (exception-based), {iters} iterations ==\n");
+    let mut rows = Vec::new();
+    for mode in [
+        SecurityMode::NonSecure,
+        SecurityMode::CleanupSpec,
+        SecurityMode::NaiveInvalidate,
+        SecurityMode::InvisiSpecInitial,
+        SecurityMode::DelayOnMiss,
+    ] {
+        let r = run_meltdown(mode, iters, 0xde1);
+        rows.push(vec![
+            mode.name().to_string(),
+            if r.leaked() { "LEAKED" } else { "safe" }.to_string(),
+            format!("{:.1}", r.avg_latency[r.secret as usize]),
+            if r.handler_ran { "yes" } else { "NO" }.to_string(),
+        ]);
+    }
+    println!(
+        "{}",
+        table(&["mode", "secret", "secret reload (cyc)", "handler ran"], &rows)
+    );
+    println!("\nThe transient dependents of the faulting load execute in the");
+    println!("window before the deferred permission check raises; only their");
+    println!("cache side effects distinguish the modes — the exception itself");
+    println!("is architecturally identical everywhere.");
+}

@@ -1,0 +1,40 @@
+//! Runs every experiment binary's logic in sequence, printing the complete
+//! paper-reproduction report (all tables and figures). Equivalent to
+//! running each `figXX_*` / `tabXX_*` binary, but in one process.
+//!
+//! Control sizing with `CLEANUPSPEC_INSTS` (instructions per workload) and
+//! `CLEANUPSPEC_ATTACK_ITERS`.
+
+use std::process::Command;
+
+const EXPERIMENTS: [&str; 12] = [
+    "tab03_characteristics",
+    "fig04_invisispec_motivation",
+    "tab01_randomization",
+    "fig09_coherence_breakdown",
+    "fig11_spectre_poc",
+    "fig12_slowdown",
+    "fig13_squashes",
+    "fig14_stall_breakdown",
+    "fig15_inflight_vs_executed",
+    "tab05_cleanup_stats",
+    "tab06_comparison",
+    "tab07_storage",
+];
+
+fn main() {
+    let exe = std::env::current_exe().expect("own path");
+    let dir = exe.parent().expect("bin dir");
+    for name in EXPERIMENTS {
+        println!("\n{}", "=".repeat(72));
+        let path = dir.join(name);
+        let status = Command::new(&path)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {name}: {e}"));
+        if !status.success() {
+            eprintln!("experiment {name} failed with {status}");
+            std::process::exit(1);
+        }
+    }
+    println!("\nAll {} experiments completed.", EXPERIMENTS.len());
+}

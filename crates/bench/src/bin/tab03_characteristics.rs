@@ -1,0 +1,43 @@
+//! Table 3 — Workload Characteristics.
+//!
+//! Measures the branch misprediction rate and L1-D miss rate of each
+//! synthetic workload on the non-secure baseline and compares them with
+//! the paper's Table 3 calibration targets. This is the calibration check
+//! that anchors every other experiment.
+
+use cleanupspec::modes::SecurityMode;
+use cleanupspec_bench::fmt::{pct, table};
+use cleanupspec_bench::runner::{run_all_spec, ExperimentConfig};
+
+fn main() {
+    let cfg = ExperimentConfig::default();
+    println!("== Table 3: workload characteristics (measured vs paper) ==");
+    println!("   {} instructions per workload\n", cfg.insts);
+    let results = run_all_spec(SecurityMode::NonSecure, &cfg);
+    let mut rows = Vec::new();
+    for (w, r) in &results {
+        let s = &r.cores[0];
+        rows.push(vec![
+            w.name.to_string(),
+            pct(s.mispredict_rate()),
+            pct(w.paper_mispredict),
+            pct(r.mem.l1_miss_rate()),
+            pct(w.paper_l1_miss),
+            format!("{:.2}", s.ipc()),
+        ]);
+    }
+    println!(
+        "{}",
+        table(
+            &[
+                "workload",
+                "mispred(meas)",
+                "mispred(paper)",
+                "l1miss(meas)",
+                "l1miss(paper)",
+                "ipc"
+            ],
+            &rows
+        )
+    );
+}

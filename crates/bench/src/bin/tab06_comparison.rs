@@ -1,0 +1,43 @@
+//! Table 6 — Slowdown comparison: CleanupSpec vs both InvisiSpec variants
+//! (all normalized to the non-secure baseline), plus the delay-based
+//! baseline as an extra reference point.
+//! Paper: InvisiSpec initial 67.5%, InvisiSpec revised ~15%,
+//! CleanupSpec 5.1%.
+
+use cleanupspec::modes::SecurityMode;
+use cleanupspec_bench::fmt::{geomean, slowdown_pct, table};
+use cleanupspec_bench::runner::{run_all_spec, ExperimentConfig};
+
+fn main() {
+    let cfg = ExperimentConfig::default();
+    println!("== Table 6: CleanupSpec vs InvisiSpec ==");
+    println!("   {} instructions per workload\n", cfg.insts);
+    let base = run_all_spec(SecurityMode::NonSecure, &cfg);
+    let entries = [
+        (SecurityMode::InvisiSpecInitial, "67.5%"),
+        (SecurityMode::InvisiSpecRevised, "15%"),
+        (SecurityMode::CleanupSpec, "5.1%"),
+        (SecurityMode::DelaySpeculativeLoads, "(n/a; NDA-like >20%)"),
+    ];
+    let mut rows = Vec::new();
+    for (mode, paper) in entries {
+        let rs = run_all_spec(mode, &cfg);
+        let factors: Vec<f64> = base
+            .iter()
+            .zip(&rs)
+            .map(|((_, b), (_, r))| r.slowdown_vs(b))
+            .collect();
+        rows.push(vec![
+            mode.name().to_string(),
+            slowdown_pct(geomean(&factors)),
+            paper.to_string(),
+        ]);
+    }
+    println!(
+        "{}",
+        table(&["configuration", "slowdown(meas)", "slowdown(paper)"], &rows)
+    );
+    println!("\npaper ordering: InvisiSpec-initial >> InvisiSpec-revised >");
+    println!("CleanupSpec; the Redo approach pays on every correct-path load,");
+    println!("the Undo approach only on squashed L1 misses.");
+}

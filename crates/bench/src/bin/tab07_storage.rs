@@ -1,0 +1,62 @@
+//! Section 6.6 — Storage overhead of the Side-Effect Entries: the paper's
+//! claim is <1 KB per core for 32 LQ + 64 L1-MSHR + 64 L2-MSHR entries,
+//! scaling linearly.
+
+use cleanupspec::sefe::{SefeLayout, SefeStorage};
+use cleanupspec_bench::fmt::table;
+
+fn main() {
+    println!("== Section 6.6: SEFE storage overhead ==\n");
+    let full = SefeLayout::full();
+    let l2 = SefeLayout::l2();
+    println!(
+        "SEFE layout (LQ / L1-MSHR): {} bits = {} bytes  (isSpec 1 + Epoch {} + LoadID {} + fills 2 + evict-addr {})",
+        full.bits(),
+        full.bytes(),
+        full.epoch_bits,
+        full.load_id_bits,
+        full.evict_addr_bits
+    );
+    println!(
+        "SEFE layout (L2-MSHR):      {} bits = {} bytes\n",
+        l2.bits(),
+        l2.bytes()
+    );
+    let mut rows = Vec::new();
+    for (label, s) in [
+        ("paper config (32/64/64)", SefeStorage::paper_config()),
+        (
+            "2x queues (64/128/128)",
+            SefeStorage {
+                lq_entries: 64,
+                l1_mshr_entries: 128,
+                l2_mshr_entries: 128,
+            },
+        ),
+        (
+            "small core (16/16/16)",
+            SefeStorage {
+                lq_entries: 16,
+                l1_mshr_entries: 16,
+                l2_mshr_entries: 16,
+            },
+        ),
+    ] {
+        rows.push(vec![
+            label.to_string(),
+            s.lq_bytes().to_string(),
+            s.l1_mshr_bytes().to_string(),
+            s.l2_mshr_bytes().to_string(),
+            s.total_bytes().to_string(),
+            if s.total_bytes() < 1024 { "yes" } else { "no" }.to_string(),
+        ]);
+    }
+    println!(
+        "{}",
+        table(
+            &["configuration", "LQ B", "L1-MSHR B", "L2-MSHR B", "total B", "<1KB?"],
+            &rows
+        )
+    );
+    println!("\npaper: <1 KB per core (the 32/64/64 configuration totals 800 B).");
+}

@@ -1,0 +1,111 @@
+//! Plain-text table and bar-chart rendering for the experiment binaries.
+//!
+//! Every harness prints the same rows/series the paper's table or figure
+//! reports, so output can be compared to the paper side by side.
+
+/// Renders an aligned table.
+pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        cells
+            .iter()
+            .zip(widths)
+            .map(|(c, w)| format!("{c:>w$}", w = w))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let head: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
+    out.push_str(&fmt_row(&head, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders one horizontal ASCII bar of `value` against `max` (40 columns).
+pub fn bar(label: &str, value: f64, max: f64) -> String {
+    let cols = 40usize;
+    let filled = if max > 0.0 {
+        ((value / max) * cols as f64).round().clamp(0.0, cols as f64) as usize
+    } else {
+        0
+    };
+    format!(
+        "{label:>14} |{}{}| {value:.3}",
+        "#".repeat(filled),
+        " ".repeat(cols - filled)
+    )
+}
+
+/// Geometric mean of positive values.
+///
+/// # Panics
+/// Panics if `values` is empty.
+pub fn geomean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "geomean of empty slice");
+    let s: f64 = values.iter().map(|v| v.max(1e-12).ln()).sum();
+    (s / values.len() as f64).exp()
+}
+
+/// Formats a fraction as a percentage string.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+/// Formats a slowdown factor as a percentage over baseline (1.05 -> +5.0%).
+pub fn slowdown_pct(factor: f64) -> String {
+    format!("{:+.1}%", (factor - 1.0) * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let t = table(
+            &["name", "value"],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["longer".into(), "2345".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("name"));
+        assert!(lines[3].contains("2345"));
+    }
+
+    #[test]
+    fn bar_clamps() {
+        let b = bar("x", 2.0, 1.0);
+        assert!(b.contains(&"#".repeat(40)));
+        let z = bar("x", 0.0, 1.0);
+        assert!(!z.contains('#'));
+    }
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean(&[1.0, 1.0]) - 1.0).abs() < 1e-12);
+        assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percent_formatting() {
+        assert_eq!(pct(0.051), "5.1%");
+        assert_eq!(slowdown_pct(1.051), "+5.1%");
+        assert_eq!(slowdown_pct(0.99), "-1.0%");
+    }
+}

@@ -1,0 +1,15 @@
+//! # cleanupspec-bench
+//!
+//! Experiment harness for the CleanupSpec reproduction: one binary per
+//! table/figure of the paper (see `src/bin/`), plus Criterion
+//! microbenchmarks (see `benches/`). This library holds the shared
+//! experiment runner and plain-text table/chart formatting.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod fmt;
+pub mod runner;
+pub mod svg;
+
+pub use runner::{run_all_spec, run_spec_workload, ExperimentConfig};

@@ -1,0 +1,155 @@
+//! Shared experiment runner: executes calibrated workloads under security
+//! modes and collects [`SimReport`]s. Workloads run in parallel threads
+//! (each simulation is independent and deterministic per seed).
+
+use cleanupspec::modes::SecurityMode;
+use cleanupspec::sim::{SimBuilder, SimReport};
+use cleanupspec_workloads::spec::{SpecWorkload, SPEC_WORKLOADS};
+use std::thread;
+
+/// Experiment sizing knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct ExperimentConfig {
+    /// Committed instructions simulated per workload (the paper runs 500M
+    /// on gem5; the default here keeps a full 19-workload sweep under a
+    /// minute while past the warm-up regime).
+    pub insts: u64,
+    /// Base seed.
+    pub seed: u64,
+    /// Worker threads for the sweep.
+    pub threads: usize,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig {
+            insts: std::env::var("CLEANUPSPEC_INSTS")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(300_000),
+            seed: 0xC1EA_2019,
+            threads: thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+        }
+    }
+}
+
+impl ExperimentConfig {
+    /// A reduced configuration for Criterion benches and smoke tests.
+    pub fn quick() -> Self {
+        ExperimentConfig {
+            insts: 40_000,
+            ..ExperimentConfig::default()
+        }
+    }
+}
+
+/// Runs one Table-3 workload under `mode` and returns its report.
+pub fn run_spec_workload(
+    w: &SpecWorkload,
+    mode: SecurityMode,
+    cfg: &ExperimentConfig,
+) -> SimReport {
+    let program = w.build(cfg.seed ^ cleanupspec_mem::rng::mix64(w.name.as_bytes()[0] as u64));
+    let mut sim = SimBuilder::new(mode)
+        .program(program)
+        .seed(cfg.seed)
+        .build();
+    // Warm caches/predictor, reset statistics, then measure.
+    let warmup = (cfg.insts / 4).clamp(10_000, 100_000);
+    sim.run_with_warmup(warmup, cfg.insts);
+    sim.report()
+}
+
+/// Runs all 19 workloads under `mode`, in parallel. Results are returned
+/// in Table-3 order.
+pub fn run_all_spec(mode: SecurityMode, cfg: &ExperimentConfig) -> Vec<(SpecWorkload, SimReport)> {
+    run_selected_spec(&SPEC_WORKLOADS, mode, cfg)
+}
+
+/// Runs a subset of workloads under `mode`, in parallel, preserving order.
+pub fn run_selected_spec(
+    workloads: &[SpecWorkload],
+    mode: SecurityMode,
+    cfg: &ExperimentConfig,
+) -> Vec<(SpecWorkload, SimReport)> {
+    let chunk = workloads.len().div_ceil(cfg.threads.max(1));
+    let mut out: Vec<Option<(SpecWorkload, SimReport)>> = vec![None; workloads.len()];
+    thread::scope(|s| {
+        let mut handles = Vec::new();
+        for (ci, ws) in workloads.chunks(chunk).enumerate() {
+            let cfg = *cfg;
+            handles.push((
+                ci * chunk,
+                s.spawn(move || {
+                    ws.iter()
+                        .map(|w| (*w, run_spec_workload(w, mode, &cfg)))
+                        .collect::<Vec<_>>()
+                }),
+            ));
+        }
+        for (base, h) in handles {
+            for (i, r) in h.join().expect("worker panicked").into_iter().enumerate() {
+                out[base + i] = Some(r);
+            }
+        }
+    });
+    out.into_iter().map(|o| o.expect("all slots filled")).collect()
+}
+
+/// Runs every workload under several modes; returns `results[mode][wl]`.
+pub fn run_matrix(
+    modes: &[SecurityMode],
+    cfg: &ExperimentConfig,
+) -> Vec<(SecurityMode, Vec<(SpecWorkload, SimReport)>)> {
+    modes
+        .iter()
+        .map(|m| (*m, run_all_spec(*m, cfg)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_produces_consistent_reports() {
+        let cfg = ExperimentConfig {
+            insts: 5_000,
+            seed: 1,
+            threads: 4,
+        };
+        let w = cleanupspec_workloads::spec::spec_workload("gcc").unwrap();
+        let r = run_spec_workload(&w, SecurityMode::NonSecure, &cfg);
+        assert!(r.cores[0].committed_insts >= 5_000);
+        assert!(r.cycles > 0);
+    }
+
+    #[test]
+    fn parallel_sweep_preserves_order() {
+        let cfg = ExperimentConfig {
+            insts: 2_000,
+            seed: 1,
+            threads: 3,
+        };
+        let rs = run_selected_spec(&SPEC_WORKLOADS[..5], SecurityMode::NonSecure, &cfg);
+        for (i, (w, _)) in rs.iter().enumerate() {
+            assert_eq!(w.name, SPEC_WORKLOADS[i].name);
+        }
+    }
+
+    #[test]
+    fn determinism_same_seed_same_cycles() {
+        let cfg = ExperimentConfig {
+            insts: 5_000,
+            seed: 77,
+            threads: 1,
+        };
+        let w = cleanupspec_workloads::spec::spec_workload("astar").unwrap();
+        let a = run_spec_workload(&w, SecurityMode::CleanupSpec, &cfg);
+        let b = run_spec_workload(&w, SecurityMode::CleanupSpec, &cfg);
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.traffic.total(), b.traffic.total());
+    }
+}

@@ -1,0 +1,341 @@
+//! Minimal SVG chart rendering for the experiment harness — bar charts
+//! (Figure 12/13-style), stacked bars (Figure 14), and scatter/line series
+//! (Figure 11) — with no external dependencies.
+//!
+//! Set `CLEANUPSPEC_SVG_DIR` to make the experiment binaries write `.svg`
+//! files next to their textual output.
+
+use std::fmt::Write as _;
+
+const WIDTH: f64 = 860.0;
+const HEIGHT: f64 = 420.0;
+const MARGIN_L: f64 = 70.0;
+const MARGIN_R: f64 = 20.0;
+const MARGIN_T: f64 = 40.0;
+const MARGIN_B: f64 = 90.0;
+
+fn esc(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+fn header(title: &str) -> String {
+    format!(
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" height="{HEIGHT}" viewBox="0 0 {WIDTH} {HEIGHT}">
+<rect width="100%" height="100%" fill="white"/>
+<text x="{x}" y="24" font-family="sans-serif" font-size="16" text-anchor="middle" font-weight="bold">{t}</text>
+"#,
+        x = WIDTH / 2.0,
+        t = esc(title)
+    )
+}
+
+fn axis(max_y: f64, y_label: &str) -> String {
+    let mut s = String::new();
+    let plot_h = HEIGHT - MARGIN_T - MARGIN_B;
+    let _ = writeln!(
+        s,
+        r#"<line x1="{MARGIN_L}" y1="{MARGIN_T}" x2="{MARGIN_L}" y2="{y0}" stroke="black"/>
+<line x1="{MARGIN_L}" y1="{y0}" x2="{x1}" y2="{y0}" stroke="black"/>"#,
+        y0 = HEIGHT - MARGIN_B,
+        x1 = WIDTH - MARGIN_R,
+    );
+    // 5 horizontal gridlines + labels.
+    for k in 0..=5 {
+        let v = max_y * k as f64 / 5.0;
+        let y = HEIGHT - MARGIN_B - plot_h * k as f64 / 5.0;
+        let _ = writeln!(
+            s,
+            r##"<line x1="{MARGIN_L}" y1="{y:.1}" x2="{x1}" y2="{y:.1}" stroke="#ddd"/>
+<text x="{lx}" y="{ty:.1}" font-family="sans-serif" font-size="11" text-anchor="end">{v:.2}</text>"##,
+            x1 = WIDTH - MARGIN_R,
+            lx = MARGIN_L - 6.0,
+            ty = y + 4.0,
+        );
+    }
+    let _ = writeln!(
+        s,
+        r#"<text x="16" y="{cy}" font-family="sans-serif" font-size="12" text-anchor="middle" transform="rotate(-90 16 {cy})">{l}</text>"#,
+        cy = MARGIN_T + plot_h / 2.0,
+        l = esc(y_label),
+    );
+    s
+}
+
+/// One bar: label + one or more stacked segment values.
+#[derive(Clone, Debug)]
+pub struct Bar {
+    /// X-axis label.
+    pub label: String,
+    /// Stacked segment values, bottom-up. One entry = plain bar.
+    pub segments: Vec<f64>,
+}
+
+/// A (possibly stacked) bar chart.
+#[derive(Clone, Debug)]
+pub struct BarChart {
+    /// Chart title.
+    pub title: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// Bars, left to right.
+    pub bars: Vec<Bar>,
+    /// Legend entries matching segment indices (empty for plain bars).
+    pub segment_names: Vec<String>,
+    /// Optional horizontal reference line (e.g. the baseline at 1.0).
+    pub reference: Option<f64>,
+}
+
+const PALETTE: [&str; 4] = ["#4878cf", "#ee854a", "#6acc65", "#d65f5f"];
+
+impl BarChart {
+    /// Renders the chart as an SVG document.
+    pub fn render(&self) -> String {
+        let plot_w = WIDTH - MARGIN_L - MARGIN_R;
+        let plot_h = HEIGHT - MARGIN_T - MARGIN_B;
+        let max_y = self
+            .bars
+            .iter()
+            .map(|b| b.segments.iter().sum::<f64>())
+            .fold(self.reference.unwrap_or(0.0), f64::max)
+            .max(1e-9)
+            * 1.08;
+        let mut s = header(&self.title);
+        s.push_str(&axis(max_y, &self.y_label));
+        let n = self.bars.len().max(1) as f64;
+        let slot = plot_w / n;
+        let bw = (slot * 0.65).min(48.0);
+        for (i, bar) in self.bars.iter().enumerate() {
+            let x = MARGIN_L + slot * (i as f64 + 0.5) - bw / 2.0;
+            let mut y = HEIGHT - MARGIN_B;
+            for (k, v) in bar.segments.iter().enumerate() {
+                let h = (v / max_y) * plot_h;
+                y -= h;
+                let _ = writeln!(
+                    s,
+                    r#"<rect x="{x:.1}" y="{y:.1}" width="{bw:.1}" height="{h:.1}" fill="{c}" stroke="black" stroke-width="0.4"/>"#,
+                    c = PALETTE[k % PALETTE.len()],
+                );
+            }
+            let _ = writeln!(
+                s,
+                r#"<text x="{cx:.1}" y="{ly:.1}" font-family="sans-serif" font-size="11" text-anchor="end" transform="rotate(-45 {cx:.1} {ly:.1})">{l}</text>"#,
+                cx = x + bw / 2.0,
+                ly = HEIGHT - MARGIN_B + 14.0,
+                l = esc(&bar.label),
+            );
+        }
+        if let Some(r) = self.reference {
+            let y = HEIGHT - MARGIN_B - (r / max_y) * plot_h;
+            let _ = writeln!(
+                s,
+                r#"<line x1="{MARGIN_L}" y1="{y:.1}" x2="{x1}" y2="{y:.1}" stroke="black" stroke-dasharray="6 3"/>"#,
+                x1 = WIDTH - MARGIN_R,
+            );
+        }
+        for (k, name) in self.segment_names.iter().enumerate() {
+            let lx = MARGIN_L + 10.0 + 150.0 * k as f64;
+            let _ = writeln!(
+                s,
+                r#"<rect x="{lx}" y="{ly}" width="12" height="12" fill="{c}"/>
+<text x="{tx}" y="{ty}" font-family="sans-serif" font-size="12">{n}</text>"#,
+                ly = MARGIN_T - 8.0,
+                c = PALETTE[k % PALETTE.len()],
+                tx = lx + 16.0,
+                ty = MARGIN_T + 3.0,
+                n = esc(name),
+            );
+        }
+        s.push_str("</svg>\n");
+        s
+    }
+}
+
+/// One scatter/line series.
+#[derive(Clone, Debug)]
+pub struct Series {
+    /// Legend name.
+    pub name: String,
+    /// (x, y) points.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// A multi-series scatter/line chart (Figure 11 style).
+#[derive(Clone, Debug)]
+pub struct LineChart {
+    /// Chart title.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// The series.
+    pub series: Vec<Series>,
+}
+
+impl LineChart {
+    /// Renders the chart as an SVG document.
+    pub fn render(&self) -> String {
+        let plot_w = WIDTH - MARGIN_L - MARGIN_R;
+        let plot_h = HEIGHT - MARGIN_T - MARGIN_B;
+        let max_x = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().map(|p| p.0))
+            .fold(1e-9, f64::max);
+        let max_y = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().map(|p| p.1))
+            .fold(1e-9, f64::max)
+            * 1.08;
+        let mut s = header(&self.title);
+        s.push_str(&axis(max_y, &self.y_label));
+        let px = |x: f64| MARGIN_L + (x / max_x) * plot_w;
+        let py = |y: f64| HEIGHT - MARGIN_B - (y / max_y) * plot_h;
+        for (k, ser) in self.series.iter().enumerate() {
+            let color = PALETTE[k % PALETTE.len()];
+            let mut path = String::new();
+            for (j, (x, y)) in ser.points.iter().enumerate() {
+                let _ = write!(
+                    path,
+                    "{}{:.1} {:.1} ",
+                    if j == 0 { "M" } else { "L" },
+                    px(*x),
+                    py(*y)
+                );
+            }
+            let _ = writeln!(
+                s,
+                r#"<path d="{path}" fill="none" stroke="{color}" stroke-width="1.4"/>"#
+            );
+            for (x, y) in &ser.points {
+                let _ = writeln!(
+                    s,
+                    r#"<circle cx="{:.1}" cy="{:.1}" r="2.4" fill="{color}"/>"#,
+                    px(*x),
+                    py(*y)
+                );
+            }
+            let lx = MARGIN_L + 10.0 + 220.0 * k as f64;
+            let _ = writeln!(
+                s,
+                r#"<rect x="{lx}" y="{ly}" width="12" height="12" fill="{color}"/>
+<text x="{tx}" y="{ty}" font-family="sans-serif" font-size="12">{n}</text>"#,
+                ly = MARGIN_T - 8.0,
+                tx = lx + 16.0,
+                ty = MARGIN_T + 3.0,
+                n = esc(&ser.name),
+            );
+        }
+        let _ = writeln!(
+            s,
+            r#"<text x="{cx}" y="{cy}" font-family="sans-serif" font-size="12" text-anchor="middle">{l}</text>"#,
+            cx = MARGIN_L + plot_w / 2.0,
+            cy = HEIGHT - 8.0,
+            l = esc(&self.x_label),
+        );
+        s.push_str("</svg>\n");
+        s
+    }
+}
+
+/// Writes a rendered chart into `$CLEANUPSPEC_SVG_DIR/<name>.svg`, if the
+/// environment variable is set. Returns the path written.
+pub fn maybe_write(name: &str, svg: &str) -> Option<std::path::PathBuf> {
+    let dir = std::env::var_os("CLEANUPSPEC_SVG_DIR")?;
+    let dir = std::path::PathBuf::from(dir);
+    std::fs::create_dir_all(&dir).ok()?;
+    let path = dir.join(format!("{name}.svg"));
+    std::fs::write(&path, svg).ok()?;
+    Some(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chart() -> BarChart {
+        BarChart {
+            title: "Test <chart>".into(),
+            y_label: "norm. time".into(),
+            bars: vec![
+                Bar {
+                    label: "astar".into(),
+                    segments: vec![1.1],
+                },
+                Bar {
+                    label: "libq".into(),
+                    segments: vec![1.01],
+                },
+            ],
+            segment_names: vec![],
+            reference: Some(1.0),
+        }
+    }
+
+    #[test]
+    fn bar_chart_is_valid_svg_shell() {
+        let svg = chart().render();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert_eq!(svg.matches("<rect").count(), 3, "bg + 2 bars");
+        assert!(svg.contains("astar"));
+        assert!(svg.contains("stroke-dasharray"), "reference line drawn");
+        assert!(svg.contains("&lt;chart&gt;"), "title escaped");
+    }
+
+    #[test]
+    fn stacked_bars_emit_one_rect_per_segment() {
+        let mut c = chart();
+        c.bars = vec![Bar {
+            label: "x".into(),
+            segments: vec![1.0, 2.0, 3.0],
+        }];
+        c.segment_names = vec!["a".into(), "b".into(), "c".into()];
+        let svg = c.render();
+        // bg + 3 segments + 3 legend swatches.
+        assert_eq!(svg.matches("<rect").count(), 7);
+    }
+
+    #[test]
+    fn line_chart_renders_series() {
+        let svg = LineChart {
+            title: "lat".into(),
+            x_label: "index".into(),
+            y_label: "cycles".into(),
+            series: vec![
+                Series {
+                    name: "non-secure".into(),
+                    points: (0..10).map(|i| (i as f64, 100.0 + i as f64)).collect(),
+                },
+                Series {
+                    name: "cleanupspec".into(),
+                    points: (0..10).map(|i| (i as f64, 110.0)).collect(),
+                },
+            ],
+        }
+        .render();
+        assert_eq!(svg.matches("<path").count(), 2);
+        assert_eq!(svg.matches("<circle").count(), 20);
+        assert!(svg.contains("cleanupspec"));
+    }
+
+    #[test]
+    fn maybe_write_is_noop_without_env() {
+        std::env::remove_var("CLEANUPSPEC_SVG_DIR");
+        assert!(maybe_write("x", "<svg></svg>").is_none());
+    }
+
+    #[test]
+    fn empty_chart_does_not_panic() {
+        let c = BarChart {
+            title: "empty".into(),
+            y_label: "".into(),
+            bars: vec![],
+            segment_names: vec![],
+            reference: None,
+        };
+        let svg = c.render();
+        assert!(svg.contains("</svg>"));
+    }
+}

@@ -1,0 +1,273 @@
+//! JSON serialization of [`SimReport`] (hand-rolled: the report is a flat
+//! tree of numbers, so a dependency-free writer keeps the build light).
+//!
+//! ```
+//! use cleanupspec::prelude::*;
+//! use cleanupspec::json::report_to_json;
+//!
+//! let mut b = ProgramBuilder::new("j");
+//! b.movi(Reg(1), 0x40);
+//! b.load(Reg(2), Reg(1), 0);
+//! b.halt();
+//! let mut sim = SimBuilder::new(SecurityMode::CleanupSpec).program(b.build()).build();
+//! sim.run_to_completion();
+//! let json = report_to_json(&sim.report());
+//! assert!(json.contains("\"mode\": \"cleanupspec\""));
+//! ```
+
+use crate::sim::SimReport;
+use cleanupspec_mem::stats::MsgClass;
+use std::fmt::Write as _;
+
+/// A minimal JSON value writer.
+#[derive(Debug, Default)]
+pub struct JsonWriter {
+    out: String,
+    stack: Vec<bool>, // per open object/array: "has at least one element"
+}
+
+impl JsonWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        JsonWriter::default()
+    }
+
+    fn comma(&mut self) {
+        if let Some(has) = self.stack.last_mut() {
+            if *has {
+                self.out.push_str(", ");
+            }
+            *has = true;
+        }
+    }
+
+    /// Opens an object (optionally as the value of `key`).
+    pub fn open_object(&mut self, key: Option<&str>) -> &mut Self {
+        self.comma();
+        if let Some(k) = key {
+            let _ = write!(self.out, "\"{}\": ", escape(k));
+        }
+        self.out.push('{');
+        self.stack.push(false);
+        self
+    }
+
+    /// Closes the innermost object.
+    pub fn close_object(&mut self) -> &mut Self {
+        self.stack.pop();
+        self.out.push('}');
+        self
+    }
+
+    /// Opens an array as the value of `key`.
+    pub fn open_array(&mut self, key: &str) -> &mut Self {
+        self.comma();
+        let _ = write!(self.out, "\"{}\": [", escape(key));
+        self.stack.push(false);
+        self
+    }
+
+    /// Closes the innermost array.
+    pub fn close_array(&mut self) -> &mut Self {
+        self.stack.pop();
+        self.out.push(']');
+        self
+    }
+
+    /// Writes a string field.
+    pub fn string(&mut self, key: &str, value: &str) -> &mut Self {
+        self.comma();
+        let _ = write!(self.out, "\"{}\": \"{}\"", escape(key), escape(value));
+        self
+    }
+
+    /// Writes an integer field.
+    pub fn int(&mut self, key: &str, value: u64) -> &mut Self {
+        self.comma();
+        let _ = write!(self.out, "\"{}\": {value}", escape(key));
+        self
+    }
+
+    /// Writes a float field (NaN/inf become null).
+    pub fn float(&mut self, key: &str, value: f64) -> &mut Self {
+        self.comma();
+        if value.is_finite() {
+            let _ = write!(self.out, "\"{}\": {value:.6}", escape(key));
+        } else {
+            let _ = write!(self.out, "\"{}\": null", escape(key));
+        }
+        self
+    }
+
+    /// Finishes and returns the JSON text.
+    pub fn finish(self) -> String {
+        debug_assert!(self.stack.is_empty(), "unbalanced open/close");
+        self.out
+    }
+}
+
+fn escape(s: &str) -> String {
+    let mut o = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => o.push_str("\\\""),
+            '\\' => o.push_str("\\\\"),
+            '\n' => o.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(o, "\\u{:04x}", c as u32);
+            }
+            c => o.push(c),
+        }
+    }
+    o
+}
+
+/// Serializes a [`SimReport`] to a JSON object string.
+pub fn report_to_json(r: &SimReport) -> String {
+    let mut w = JsonWriter::new();
+    w.open_object(None)
+        .string("mode", r.mode.name())
+        .int("cycles", r.cycles)
+        .float("ipc", r.ipc())
+        .int("total_insts", r.total_insts());
+    w.open_object(Some("mem"))
+        .int("l1_hits", r.mem.l1_hits)
+        .int("l2_hits", r.mem.l2_hits)
+        .int("remote_hits", r.mem.remote_hits)
+        .int("mem_loads", r.mem.mem_loads)
+        .int("dummy_misses", r.mem.dummy_misses)
+        .int("gets_safe_refusals", r.mem.gets_safe_refusals)
+        .int("stores", r.mem.stores)
+        .int("l1_evictions", r.mem.l1_evictions)
+        .int("l2_evictions", r.mem.l2_evictions)
+        .int("dropped_fills", r.mem.dropped_fills)
+        .int("orphan_fills", r.mem.orphan_fills)
+        .int("cleanup_invals", r.mem.cleanup_invals)
+        .int("cleanup_restores", r.mem.cleanup_restores)
+        .float("l1_miss_rate", r.mem.l1_miss_rate())
+        .close_object();
+    w.open_object(Some("traffic"));
+    for class in MsgClass::ALL {
+        w.int(&class.to_string(), r.traffic.get(class));
+    }
+    w.int("total", r.traffic.total()).close_object();
+    w.open_array("cores");
+    for c in &r.cores {
+        w.open_object(None)
+            .int("committed_insts", c.committed_insts)
+            .int("committed_loads", c.committed_loads)
+            .int("committed_stores", c.committed_stores)
+            .int("committed_branches", c.committed_branches)
+            .int("mispredicts", c.mispredicts)
+            .int("squashes", c.squashes)
+            .int("squashed_insts", c.squashed_insts)
+            .int("squashed_ni", c.squashed_ni)
+            .int("squashed_l1h", c.squashed_l1h)
+            .int("squashed_l2h", c.squashed_l2h)
+            .int("squashed_l2m", c.squashed_l2m)
+            .int("squash_wait_cycles", c.squash_wait_cycles)
+            .int("squash_cleanup_cycles", c.squash_cleanup_cycles)
+            .int("deferred_loads", c.deferred_loads)
+            .int("forwarded_loads", c.forwarded_loads)
+            .int("faults", c.faults)
+            .float("ipc", c.ipc())
+            .float("mispredict_rate", c.mispredict_rate())
+            .float("squash_pki", c.squash_pki())
+            .close_object();
+    }
+    w.close_array().close_object();
+    w.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modes::SecurityMode;
+    use crate::sim::SimBuilder;
+    use cleanupspec_core::isa::{ProgramBuilder, Reg};
+
+    fn sample_report() -> SimReport {
+        let mut b = ProgramBuilder::new("j");
+        b.movi(Reg(1), 0x1000);
+        b.load(Reg(2), Reg(1), 0);
+        b.halt();
+        let mut sim = SimBuilder::new(SecurityMode::CleanupSpec)
+            .program(b.build())
+            .build();
+        sim.run_to_completion();
+        sim.report()
+    }
+
+    fn balanced(s: &str) -> bool {
+        let mut depth = 0i64;
+        let mut in_str = false;
+        let mut esc = false;
+        for c in s.chars() {
+            if esc {
+                esc = false;
+                continue;
+            }
+            match c {
+                '\\' if in_str => esc = true,
+                '"' => in_str = !in_str,
+                '{' | '[' if !in_str => depth += 1,
+                '}' | ']' if !in_str => depth -= 1,
+                _ => {}
+            }
+            if depth < 0 {
+                return false;
+            }
+        }
+        depth == 0 && !in_str
+    }
+
+    #[test]
+    fn report_json_is_balanced_and_complete() {
+        let j = report_to_json(&sample_report());
+        assert!(balanced(&j), "unbalanced json: {j}");
+        for key in [
+            "\"mode\"",
+            "\"cycles\"",
+            "\"mem\"",
+            "\"traffic\"",
+            "\"cores\"",
+            "\"l1_miss_rate\"",
+            "\"squash_pki\"",
+        ] {
+            assert!(j.contains(key), "missing {key} in {j}");
+        }
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let mut w = JsonWriter::new();
+        w.open_object(None)
+            .string("k\"ey", "va\\lue\nnewline")
+            .close_object();
+        let j = w.finish();
+        assert!(j.contains("k\\\"ey"));
+        assert!(j.contains("va\\\\lue\\nnewline"));
+        assert!(balanced(&j));
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let mut w = JsonWriter::new();
+        w.open_object(None).float("x", f64::NAN).close_object();
+        assert!(w.finish().contains("\"x\": null"));
+    }
+
+    #[test]
+    fn arrays_separate_elements() {
+        let mut w = JsonWriter::new();
+        w.open_object(None).open_array("a");
+        for i in 0..3 {
+            w.open_object(None).int("i", i).close_object();
+        }
+        w.close_array().close_object();
+        let j = w.finish();
+        assert_eq!(j.matches("{\"i\"").count(), 3);
+        assert_eq!(j.matches("}, {").count(), 2);
+        assert!(balanced(&j));
+    }
+}

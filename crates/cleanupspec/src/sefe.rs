@@ -1,0 +1,152 @@
+//! Storage-overhead accounting for the Side-Effect Entries (Section 6.6,
+//! Figure 7).
+//!
+//! The paper's claim: for 32 LQ entries and 64 L1/L2 MSHR entries per core,
+//! the SEFE metadata costs **less than 1 KB per core**, scaling linearly
+//! with the queue sizes. This module computes that bound from first
+//! principles so the `tab07_storage` harness can regenerate the numbers.
+
+use cleanupspec_mem::types::{EpochId, LoadId};
+
+/// Bits of the L1-evicted line address tracked in the SEFE (Figure 7).
+pub const EVICT_ADDR_BITS: u32 = 40;
+
+/// SEFE layout per structure (Figure 7).
+#[derive(Clone, Copy, Debug)]
+pub struct SefeLayout {
+    /// `isSpec` bit.
+    pub is_spec_bits: u32,
+    /// `EpochID` bits.
+    pub epoch_bits: u32,
+    /// `LoadID` bits.
+    pub load_id_bits: u32,
+    /// `L1-Fill` + `L2-Fill` bits.
+    pub fill_bits: u32,
+    /// `L1-Evict Lineaddr` bits (0 where not tracked).
+    pub evict_addr_bits: u32,
+}
+
+impl SefeLayout {
+    /// SEFE attached to a load-queue entry or an L1-MSHR entry: all fields
+    /// including the 40-bit evicted-line address (7 bytes).
+    pub fn full() -> Self {
+        SefeLayout {
+            is_spec_bits: 1,
+            epoch_bits: EpochId::BITS,
+            load_id_bits: LoadId::BITS,
+            fill_bits: 2,
+            evict_addr_bits: EVICT_ADDR_BITS,
+        }
+    }
+
+    /// SEFE attached to an L2-MSHR entry: status bits, LoadID (5 bits at
+    /// the L2 in the paper's layout), and EpochID — 2 bytes total. The L2
+    /// never restores evictions, so no victim address is kept.
+    pub fn l2() -> Self {
+        SefeLayout {
+            is_spec_bits: 1,
+            epoch_bits: 8,
+            load_id_bits: 5,
+            fill_bits: 2,
+            evict_addr_bits: 0,
+        }
+    }
+
+    /// Total bits per entry.
+    pub fn bits(&self) -> u32 {
+        self.is_spec_bits + self.epoch_bits + self.load_id_bits + self.fill_bits
+            + self.evict_addr_bits
+    }
+
+    /// Bytes per entry, rounded up.
+    pub fn bytes(&self) -> u32 {
+        self.bits().div_ceil(8)
+    }
+}
+
+/// Per-core SEFE storage for a configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct SefeStorage {
+    /// Load-queue entries.
+    pub lq_entries: usize,
+    /// L1 MSHR entries.
+    pub l1_mshr_entries: usize,
+    /// L2 MSHR entries.
+    pub l2_mshr_entries: usize,
+}
+
+impl SefeStorage {
+    /// The paper's Table-4/Section-6.6 configuration: 32 LQ, 64 L1-MSHR,
+    /// 64 L2-MSHR entries.
+    pub fn paper_config() -> Self {
+        SefeStorage {
+            lq_entries: 32,
+            l1_mshr_entries: 64,
+            l2_mshr_entries: 64,
+        }
+    }
+
+    /// Bytes of SEFE storage in the load queue.
+    pub fn lq_bytes(&self) -> usize {
+        self.lq_entries * SefeLayout::full().bytes() as usize
+    }
+
+    /// Bytes of SEFE storage in the L1 MSHRs.
+    pub fn l1_mshr_bytes(&self) -> usize {
+        self.l1_mshr_entries * SefeLayout::full().bytes() as usize
+    }
+
+    /// Bytes of SEFE storage in the L2 MSHRs.
+    pub fn l2_mshr_bytes(&self) -> usize {
+        self.l2_mshr_entries * SefeLayout::l2().bytes() as usize
+    }
+
+    /// Total SEFE bytes per core.
+    pub fn total_bytes(&self) -> usize {
+        self.lq_bytes() + self.l1_mshr_bytes() + self.l2_mshr_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_layout_is_seven_bytes() {
+        let l = SefeLayout::full();
+        assert_eq!(l.bits(), 1 + 5 + 8 + 2 + 40);
+        assert_eq!(l.bytes(), 7);
+    }
+
+    #[test]
+    fn l2_layout_is_two_bytes() {
+        let l = SefeLayout::l2();
+        assert_eq!(l.bytes(), 2);
+    }
+
+    #[test]
+    fn paper_config_under_one_kilobyte() {
+        let s = SefeStorage::paper_config();
+        // 32*7 + 64*7 + 64*2 = 224 + 448 + 128 = 800 bytes.
+        assert_eq!(s.lq_bytes(), 224);
+        assert_eq!(s.l1_mshr_bytes(), 448);
+        assert_eq!(s.l2_mshr_bytes(), 128);
+        assert_eq!(s.total_bytes(), 800);
+        assert!(s.total_bytes() < 1024, "paper claim: <1KB per core");
+    }
+
+    #[test]
+    fn storage_scales_linearly() {
+        let s1 = SefeStorage {
+            lq_entries: 32,
+            l1_mshr_entries: 64,
+            l2_mshr_entries: 64,
+        };
+        let s2 = SefeStorage {
+            lq_entries: 64,
+            l1_mshr_entries: 128,
+            l2_mshr_entries: 128,
+        };
+        assert_eq!(s2.total_bytes(), 2 * s1.total_bytes());
+    }
+}

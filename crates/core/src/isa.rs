@@ -1,0 +1,495 @@
+//! The micro-ISA executed by the simulated out-of-order core.
+//!
+//! The paper's evaluation runs x86 binaries under gem5; what the attacks and
+//! CleanupSpec actually need from the ISA is much smaller: register
+//! dataflow (so transient loads can feed secret-dependent addresses),
+//! loads/stores with computed addresses, conditional branches resolved from
+//! register values (so mis-speculation and wrong-path execution are real),
+//! `clflush`, and fences. This module defines exactly that.
+
+use cleanupspec_mem::types::Addr;
+use std::fmt;
+
+/// Program counter: an index into the program's instruction array.
+pub type Pc = usize;
+
+/// Number of architectural registers.
+pub const NUM_REGS: usize = 32;
+
+/// Register conventionally used as the link register by [`Inst::Call`].
+pub const LINK_REG: Reg = Reg(31);
+
+/// An architectural register (`r0`..`r31`).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Reg(pub u8);
+
+impl Reg {
+    /// Index into register files.
+    ///
+    /// # Panics
+    /// Debug-panics if the register number is out of range.
+    pub fn index(self) -> usize {
+        debug_assert!((self.0 as usize) < NUM_REGS);
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// Second ALU operand: register or immediate.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Operand {
+    /// A register source.
+    Reg(Reg),
+    /// An immediate value.
+    Imm(i64),
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Reg(r) => write!(f, "{r}"),
+            Operand::Imm(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// ALU operations.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AluOp {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Wrapping multiplication.
+    Mul,
+    /// Bitwise AND.
+    And,
+    /// Bitwise OR.
+    Or,
+    /// Bitwise XOR.
+    Xor,
+    /// Left shift (by `src2 & 63`).
+    Shl,
+    /// Logical right shift (by `src2 & 63`).
+    Shr,
+}
+
+impl AluOp {
+    /// Applies the operation.
+    pub fn apply(self, a: u64, b: u64) -> u64 {
+        match self {
+            AluOp::Add => a.wrapping_add(b),
+            AluOp::Sub => a.wrapping_sub(b),
+            AluOp::Mul => a.wrapping_mul(b),
+            AluOp::And => a & b,
+            AluOp::Or => a | b,
+            AluOp::Xor => a ^ b,
+            AluOp::Shl => a << (b & 63),
+            AluOp::Shr => a >> (b & 63),
+        }
+    }
+}
+
+/// Condition evaluated by [`Inst::Branch`] on a register value.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BranchCond {
+    /// Taken when the register is zero.
+    Zero,
+    /// Taken when the register is non-zero.
+    NotZero,
+    /// Taken when the register, as a signed value, is negative.
+    Negative,
+}
+
+impl BranchCond {
+    /// Evaluates the condition.
+    pub fn taken(self, v: u64) -> bool {
+        match self {
+            BranchCond::Zero => v == 0,
+            BranchCond::NotZero => v != 0,
+            BranchCond::Negative => (v as i64) < 0,
+        }
+    }
+}
+
+/// One instruction of the micro-ISA.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Inst {
+    /// No operation (also what wrong-path fetch finds in unmapped space).
+    Nop,
+    /// `dst = op(src1, src2)` with a fixed execute latency in cycles.
+    Alu {
+        /// Destination register.
+        dst: Reg,
+        /// First source.
+        src1: Operand,
+        /// Second source.
+        src2: Operand,
+        /// Operation.
+        op: AluOp,
+        /// Execution latency in cycles (1 for simple ops, more for `Mul`).
+        latency: u8,
+    },
+    /// `dst = mem[reg(base) + offset]` (8-byte word).
+    Load {
+        /// Destination register.
+        dst: Reg,
+        /// Base address register.
+        base: Reg,
+        /// Byte offset.
+        offset: i64,
+    },
+    /// `mem[reg(base) + offset] = reg(src)`; performed at commit.
+    Store {
+        /// Value register.
+        src: Reg,
+        /// Base address register.
+        base: Reg,
+        /// Byte offset.
+        offset: i64,
+    },
+    /// Conditional branch on a register; taken -> `target`, else fall
+    /// through to `pc + 1`.
+    Branch {
+        /// Condition source register.
+        src: Reg,
+        /// Condition.
+        cond: BranchCond,
+        /// Taken target.
+        target: Pc,
+    },
+    /// Unconditional jump.
+    Jump {
+        /// Target.
+        target: Pc,
+    },
+    /// Call: writes `pc + 1` to the link register and jumps.
+    Call {
+        /// Callee entry.
+        target: Pc,
+    },
+    /// Return: indirect jump to the link-register value (predicted by the
+    /// return-address stack).
+    Ret,
+    /// Flushes `mem[reg(base) + offset]`'s line from the whole hierarchy.
+    /// Ordered like a store: performed at commit (Section 3.5, Table 2).
+    Clflush {
+        /// Base address register.
+        base: Reg,
+        /// Byte offset.
+        offset: i64,
+    },
+    /// Full fence: issues only when it is the oldest instruction.
+    Fence,
+    /// Stops the program when committed.
+    Halt,
+}
+
+impl Inst {
+    /// Whether this is a control-flow instruction needing prediction.
+    pub fn is_control(&self) -> bool {
+        matches!(
+            self,
+            Inst::Branch { .. } | Inst::Jump { .. } | Inst::Call { .. } | Inst::Ret
+        )
+    }
+
+    /// Whether this instruction reads memory.
+    pub fn is_load(&self) -> bool {
+        matches!(self, Inst::Load { .. })
+    }
+
+    /// Whether this instruction writes memory (store or flush).
+    pub fn is_store_like(&self) -> bool {
+        matches!(self, Inst::Store { .. } | Inst::Clflush { .. })
+    }
+}
+
+/// A program: instructions plus initial architectural state.
+#[derive(Clone, Debug, Default)]
+pub struct Program {
+    insts: Vec<Inst>,
+    /// Entry point.
+    pub entry: Pc,
+    /// Initial register values (unlisted registers start at 0).
+    pub init_regs: Vec<(Reg, u64)>,
+    /// Initial memory words (8-byte aligned); unlisted words read as a
+    /// pseudo-random function of their address.
+    pub init_mem: Vec<(Addr, u64)>,
+    /// Human-readable name for reports.
+    pub name: String,
+    /// Protected byte-address ranges `[start, end)`: a load touching one
+    /// raises a fault that is detected only at commit — the
+    /// permission-check race exploited by Meltdown-class attacks. The
+    /// data still flows to dependents transiently.
+    pub protected_ranges: Vec<(Addr, Addr)>,
+    /// Where execution resumes after a fault (like an OS signal handler);
+    /// `None` halts the program.
+    pub fault_handler: Option<Pc>,
+}
+
+impl Program {
+    /// Creates a program from instructions, entry at 0.
+    pub fn new(name: impl Into<String>, insts: Vec<Inst>) -> Self {
+        Program {
+            insts,
+            entry: 0,
+            init_regs: Vec::new(),
+            init_mem: Vec::new(),
+            name: name.into(),
+            protected_ranges: Vec::new(),
+            fault_handler: None,
+        }
+    }
+
+    /// Instruction at `pc`; out-of-range fetch (possible on the wrong path)
+    /// reads as [`Inst::Halt`] so runaway wrong paths stop fetching.
+    pub fn fetch(&self, pc: Pc) -> Inst {
+        self.insts.get(pc).copied().unwrap_or(Inst::Halt)
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Whether the program has no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// All instructions (for analysis tools).
+    pub fn insts(&self) -> &[Inst] {
+        &self.insts
+    }
+
+    /// Whether a byte address lies in a protected range.
+    pub fn is_protected(&self, addr: Addr) -> bool {
+        self.protected_ranges
+            .iter()
+            .any(|(s, e)| addr.raw() >= s.raw() && addr.raw() < e.raw())
+    }
+}
+
+/// Convenience builder for writing programs by hand.
+///
+/// ```
+/// use cleanupspec_core::isa::{ProgramBuilder, Reg, Operand, AluOp};
+/// let mut b = ProgramBuilder::new("demo");
+/// b.movi(Reg(1), 0x1000);
+/// b.load(Reg(2), Reg(1), 0);
+/// b.halt();
+/// let p = b.build();
+/// assert_eq!(p.len(), 3);
+/// ```
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    insts: Vec<Inst>,
+    init_regs: Vec<(Reg, u64)>,
+    init_mem: Vec<(Addr, u64)>,
+    name: String,
+    protected_ranges: Vec<(Addr, Addr)>,
+    fault_handler: Option<Pc>,
+}
+
+impl ProgramBuilder {
+    /// Starts a new program.
+    pub fn new(name: impl Into<String>) -> Self {
+        ProgramBuilder {
+            name: name.into(),
+            ..Default::default()
+        }
+    }
+
+    /// Current PC (index of the next emitted instruction).
+    pub fn here(&self) -> Pc {
+        self.insts.len()
+    }
+
+    /// Emits a raw instruction; returns its PC.
+    pub fn emit(&mut self, inst: Inst) -> Pc {
+        self.insts.push(inst);
+        self.insts.len() - 1
+    }
+
+    /// `dst = imm` (encoded as `dst = 0 + imm` with `r0` kept at zero by
+    /// convention — the builder never writes `r0`).
+    pub fn movi(&mut self, dst: Reg, imm: u64) -> Pc {
+        self.emit(Inst::Alu {
+            dst,
+            src1: Operand::Imm(imm as i64),
+            src2: Operand::Imm(0),
+            op: AluOp::Add,
+            latency: 1,
+        })
+    }
+
+    /// Three-operand ALU op with unit latency.
+    pub fn alu(&mut self, dst: Reg, op: AluOp, src1: Operand, src2: Operand) -> Pc {
+        self.emit(Inst::Alu {
+            dst,
+            src1,
+            src2,
+            op,
+            latency: if op == AluOp::Mul { 3 } else { 1 },
+        })
+    }
+
+    /// `dst = mem[base + offset]`.
+    pub fn load(&mut self, dst: Reg, base: Reg, offset: i64) -> Pc {
+        self.emit(Inst::Load { dst, base, offset })
+    }
+
+    /// `mem[base + offset] = src`.
+    pub fn store(&mut self, src: Reg, base: Reg, offset: i64) -> Pc {
+        self.emit(Inst::Store { src, base, offset })
+    }
+
+    /// Conditional branch; patch the target later with [`patch_branch`].
+    ///
+    /// [`patch_branch`]: ProgramBuilder::patch_branch
+    pub fn branch(&mut self, src: Reg, cond: BranchCond, target: Pc) -> Pc {
+        self.emit(Inst::Branch { src, cond, target })
+    }
+
+    /// Unconditional jump.
+    pub fn jump(&mut self, target: Pc) -> Pc {
+        self.emit(Inst::Jump { target })
+    }
+
+    /// Rewrites the target of a previously emitted branch or jump.
+    ///
+    /// # Panics
+    /// Panics if `at` is not a branch/jump/call.
+    pub fn patch_branch(&mut self, at: Pc, new_target: Pc) {
+        match &mut self.insts[at] {
+            Inst::Branch { target, .. } | Inst::Jump { target } | Inst::Call { target } => {
+                *target = new_target;
+            }
+            other => panic!("patch_branch at non-branch {other:?}"),
+        }
+    }
+
+    /// `clflush mem[base + offset]`.
+    pub fn clflush(&mut self, base: Reg, offset: i64) -> Pc {
+        self.emit(Inst::Clflush { base, offset })
+    }
+
+    /// Fence.
+    pub fn fence(&mut self) -> Pc {
+        self.emit(Inst::Fence)
+    }
+
+    /// Halt.
+    pub fn halt(&mut self) -> Pc {
+        self.emit(Inst::Halt)
+    }
+
+    /// Call / return.
+    pub fn call(&mut self, target: Pc) -> Pc {
+        self.emit(Inst::Call { target })
+    }
+
+    /// Return via the link register.
+    pub fn ret(&mut self) -> Pc {
+        self.emit(Inst::Ret)
+    }
+
+    /// Sets an initial register value.
+    pub fn init_reg(&mut self, reg: Reg, value: u64) -> &mut Self {
+        self.init_regs.push((reg, value));
+        self
+    }
+
+    /// Sets an initial memory word.
+    pub fn init_mem(&mut self, addr: Addr, value: u64) -> &mut Self {
+        self.init_mem.push((addr, value));
+        self
+    }
+
+    /// Marks `[start, end)` as protected: loads fault at commit
+    /// (Meltdown-style deferred permission check).
+    pub fn protect(&mut self, start: Addr, end: Addr) -> &mut Self {
+        self.protected_ranges.push((start, end));
+        self
+    }
+
+    /// Sets the fault handler entry point.
+    pub fn on_fault(&mut self, handler: Pc) -> &mut Self {
+        self.fault_handler = Some(handler);
+        self
+    }
+
+    /// Finalizes the program.
+    pub fn build(self) -> Program {
+        Program {
+            insts: self.insts,
+            entry: 0,
+            init_regs: self.init_regs,
+            init_mem: self.init_mem,
+            name: self.name,
+            protected_ranges: self.protected_ranges,
+            fault_handler: self.fault_handler,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alu_ops_semantics() {
+        assert_eq!(AluOp::Add.apply(2, 3), 5);
+        assert_eq!(AluOp::Sub.apply(2, 3), u64::MAX);
+        assert_eq!(AluOp::Mul.apply(4, 5), 20);
+        assert_eq!(AluOp::And.apply(0b1100, 0b1010), 0b1000);
+        assert_eq!(AluOp::Or.apply(0b1100, 0b1010), 0b1110);
+        assert_eq!(AluOp::Xor.apply(0b1100, 0b1010), 0b0110);
+        assert_eq!(AluOp::Shl.apply(1, 4), 16);
+        assert_eq!(AluOp::Shr.apply(16, 4), 1);
+        assert_eq!(AluOp::Shl.apply(1, 64), 1, "shift masks to 6 bits");
+    }
+
+    #[test]
+    fn branch_conditions() {
+        assert!(BranchCond::Zero.taken(0));
+        assert!(!BranchCond::Zero.taken(1));
+        assert!(BranchCond::NotZero.taken(5));
+        assert!(BranchCond::Negative.taken(u64::MAX));
+        assert!(!BranchCond::Negative.taken(1));
+    }
+
+    #[test]
+    fn out_of_range_fetch_halts() {
+        let p = Program::new("t", vec![Inst::Nop]);
+        assert_eq!(p.fetch(0), Inst::Nop);
+        assert_eq!(p.fetch(99), Inst::Halt);
+    }
+
+    #[test]
+    fn builder_emits_and_patches() {
+        let mut b = ProgramBuilder::new("t");
+        let br = b.branch(Reg(1), BranchCond::Zero, 0);
+        b.halt();
+        let skip = b.here();
+        b.patch_branch(br, skip);
+        let p = b.build();
+        assert_eq!(p.fetch(br), Inst::Branch { src: Reg(1), cond: BranchCond::Zero, target: skip });
+        assert_eq!(p.len(), 2);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn classification_helpers() {
+        assert!(Inst::Ret.is_control());
+        assert!(Inst::Load { dst: Reg(1), base: Reg(2), offset: 0 }.is_load());
+        assert!(Inst::Clflush { base: Reg(1), offset: 0 }.is_store_like());
+        assert!(!Inst::Nop.is_control());
+    }
+}

@@ -1,0 +1,189 @@
+//! Core-side statistics: IPC, branch behaviour, and the squash/cleanup
+//! decompositions behind Figures 12–15 and Table 5 of the paper.
+
+use cleanupspec_mem::types::Cycle;
+
+/// Classification of a squashed load (Table 5 columns).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SquashedClass {
+    /// Not issued when squashed (`NI`).
+    NotIssued,
+    /// Issued and hit the L1 (`L1H`).
+    L1Hit,
+    /// Issued, missed L1, hit L2 or a remote L1 (`L2H`).
+    L2Hit,
+    /// Issued and missed the L2 (`L2M`).
+    L2Miss,
+}
+
+/// Statistics for one simulated core.
+#[derive(Clone, Debug, Default)]
+pub struct CoreStats {
+    /// Cycles simulated.
+    pub cycles: Cycle,
+    /// Committed instructions.
+    pub committed_insts: u64,
+    /// Committed loads.
+    pub committed_loads: u64,
+    /// Committed stores.
+    pub committed_stores: u64,
+    /// Committed conditional branches.
+    pub committed_branches: u64,
+    /// Resolved conditional-branch mispredictions.
+    pub mispredicts: u64,
+    /// Pipeline squashes (one per handled mis-speculation).
+    pub squashes: u64,
+    /// Instructions squashed.
+    pub squashed_insts: u64,
+    /// Squashed loads by class (Table 5).
+    pub squashed_ni: u64,
+    /// See [`SquashedClass::L1Hit`].
+    pub squashed_l1h: u64,
+    /// See [`SquashedClass::L2Hit`].
+    pub squashed_l2h: u64,
+    /// See [`SquashedClass::L2Miss`].
+    pub squashed_l2m: u64,
+    /// Squashed L1-miss loads that were still inflight (Figure 15).
+    pub squashed_miss_inflight: u64,
+    /// Squashed L1-miss loads that had executed (Figure 15).
+    pub squashed_miss_executed: u64,
+    /// Cycles spent waiting for older inflight loads before cleanup
+    /// (Figure 14, "Inflight Correct Path Exec").
+    pub squash_wait_cycles: Cycle,
+    /// Cycles spent performing cleanup operations (Figure 14, "Actual
+    /// Cleanup Time").
+    pub squash_cleanup_cycles: Cycle,
+    /// Loads whose issue was deferred by GetS-Safe and retried.
+    pub deferred_loads: u64,
+    /// Cycles commit was stalled by the scheme (InvisiSpec update loads).
+    pub commit_stall_cycles: Cycle,
+    /// Cycles fetch was stalled (redirects + cleanup stalls).
+    pub fetch_stall_cycles: Cycle,
+    /// Loads that issued while still squashable (speculative issues).
+    pub spec_issued_loads: u64,
+    /// Speculation-window extension messages charged (Section 3.6).
+    pub window_extend_msgs: u64,
+    /// Loads forwarded from the store queue (no cache access).
+    pub forwarded_loads: u64,
+    /// Faults raised at commit (Meltdown-style deferred exceptions).
+    pub faults: u64,
+}
+
+impl CoreStats {
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.committed_insts as f64 / self.cycles as f64
+        }
+    }
+
+    /// Squashes per kilo-instruction (Figure 13).
+    pub fn squash_pki(&self) -> f64 {
+        if self.committed_insts == 0 {
+            0.0
+        } else {
+            self.squashes as f64 * 1000.0 / self.committed_insts as f64
+        }
+    }
+
+    /// Conditional-branch misprediction rate.
+    pub fn mispredict_rate(&self) -> f64 {
+        if self.committed_branches == 0 {
+            0.0
+        } else {
+            self.mispredicts as f64 / self.committed_branches as f64
+        }
+    }
+
+    /// Total squashed loads.
+    pub fn squashed_loads(&self) -> u64 {
+        self.squashed_ni + self.squashed_l1h + self.squashed_l2h + self.squashed_l2m
+    }
+
+    /// Squashed loads per squash (Table 5).
+    pub fn loads_per_squash(&self) -> f64 {
+        if self.squashes == 0 {
+            0.0
+        } else {
+            self.squashed_loads() as f64 / self.squashes as f64
+        }
+    }
+
+    /// Average stall per squash in cycles, split (wait, cleanup)
+    /// (Figure 14).
+    pub fn stall_per_squash(&self) -> (f64, f64) {
+        if self.squashes == 0 {
+            return (0.0, 0.0);
+        }
+        (
+            self.squash_wait_cycles as f64 / self.squashes as f64,
+            self.squash_cleanup_cycles as f64 / self.squashes as f64,
+        )
+    }
+
+    /// Records one squashed load of a given class and inflight-ness.
+    pub fn record_squashed_load(&mut self, class: SquashedClass, inflight: bool) {
+        match class {
+            SquashedClass::NotIssued => self.squashed_ni += 1,
+            SquashedClass::L1Hit => self.squashed_l1h += 1,
+            SquashedClass::L2Hit => self.squashed_l2h += 1,
+            SquashedClass::L2Miss => self.squashed_l2m += 1,
+        }
+        if matches!(class, SquashedClass::L2Hit | SquashedClass::L2Miss) {
+            if inflight {
+                self.squashed_miss_inflight += 1;
+            } else {
+                self.squashed_miss_executed += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_rates() {
+        let mut s = CoreStats {
+            cycles: 1000,
+            committed_insts: 2000,
+            committed_branches: 100,
+            mispredicts: 10,
+            squashes: 4,
+            ..Default::default()
+        };
+        s.squash_wait_cycles = 80;
+        s.squash_cleanup_cycles = 20;
+        assert!((s.ipc() - 2.0).abs() < 1e-12);
+        assert!((s.squash_pki() - 2.0).abs() < 1e-12);
+        assert!((s.mispredict_rate() - 0.1).abs() < 1e-12);
+        assert_eq!(s.stall_per_squash(), (20.0, 5.0));
+    }
+
+    #[test]
+    fn zero_denominators_are_safe() {
+        let s = CoreStats::default();
+        assert_eq!(s.ipc(), 0.0);
+        assert_eq!(s.squash_pki(), 0.0);
+        assert_eq!(s.mispredict_rate(), 0.0);
+        assert_eq!(s.loads_per_squash(), 0.0);
+        assert_eq!(s.stall_per_squash(), (0.0, 0.0));
+    }
+
+    #[test]
+    fn squashed_load_classification() {
+        let mut s = CoreStats::default();
+        s.record_squashed_load(SquashedClass::NotIssued, false);
+        s.record_squashed_load(SquashedClass::L1Hit, false);
+        s.record_squashed_load(SquashedClass::L2Hit, true);
+        s.record_squashed_load(SquashedClass::L2Miss, false);
+        s.squashes = 2;
+        assert_eq!(s.squashed_loads(), 4);
+        assert_eq!(s.loads_per_squash(), 2.0);
+        assert_eq!(s.squashed_miss_inflight, 1);
+        assert_eq!(s.squashed_miss_executed, 1);
+    }
+}

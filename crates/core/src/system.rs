@@ -1,0 +1,309 @@
+//! The system runner: one or more pipelines over a shared memory hierarchy
+//! and a shared architectural data memory.
+
+use crate::datamem::DataMem;
+use crate::isa::Program;
+use crate::pipeline::{CoreConfig, Pipeline};
+use crate::scheme::SpeculationScheme;
+use crate::stats::CoreStats;
+use cleanupspec_mem::hierarchy::MemHierarchy;
+use cleanupspec_mem::types::{CoreId, Cycle};
+use std::sync::Arc;
+
+/// Stop conditions for [`System::run`].
+#[derive(Clone, Copy, Debug)]
+pub struct RunLimits {
+    /// Hard cycle budget.
+    pub max_cycles: Cycle,
+    /// Stop once every core has committed at least this many instructions
+    /// (or halted). `u64::MAX` disables the limit.
+    pub max_insts_per_core: u64,
+}
+
+impl Default for RunLimits {
+    fn default() -> Self {
+        RunLimits {
+            max_cycles: 50_000_000,
+            max_insts_per_core: u64::MAX,
+        }
+    }
+}
+
+/// Why a run stopped.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum StopReason {
+    /// Every core committed `Halt`.
+    AllHalted,
+    /// Every core reached the instruction budget (or halted).
+    InstLimit,
+    /// The cycle budget expired.
+    CycleLimit,
+}
+
+/// A complete simulated system: cores + schemes + memory.
+#[derive(Debug)]
+pub struct System {
+    cores: Vec<Pipeline>,
+    schemes: Vec<Box<dyn SpeculationScheme>>,
+    mem: MemHierarchy,
+    dmem: DataMem,
+    now: Cycle,
+}
+
+impl System {
+    /// Builds a system. `programs` and `schemes` must have one entry per
+    /// core configured in `mem`.
+    ///
+    /// # Panics
+    /// Panics if the lengths disagree with `mem.config().num_cores`.
+    pub fn new(
+        mem: MemHierarchy,
+        core_cfg: CoreConfig,
+        schemes: Vec<Box<dyn SpeculationScheme>>,
+        programs: Vec<Arc<Program>>,
+    ) -> Self {
+        let n = mem.config().num_cores;
+        assert_eq!(programs.len(), n, "one program per core");
+        assert_eq!(schemes.len(), n, "one scheme per core");
+        let mut dmem = DataMem::new();
+        for p in &programs {
+            for (a, v) in &p.init_mem {
+                dmem.write(*a, *v);
+            }
+        }
+        let cores = programs
+            .into_iter()
+            .enumerate()
+            .map(|(i, p)| Pipeline::new(CoreId(i), core_cfg.clone(), p))
+            .collect();
+        System {
+            cores,
+            schemes,
+            mem,
+            dmem,
+            now: 0,
+        }
+    }
+
+    /// Current cycle.
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// Advances time and the memory system by one cycle WITHOUT ticking
+    /// the cores. Harness phases (priming, probing, draining) use this so
+    /// that measurement does not perturb the victim programs.
+    pub fn tick_mem_only(&mut self) {
+        self.now += 1;
+        self.mem.advance(self.now);
+    }
+
+    /// Advances the whole system by one cycle.
+    pub fn tick(&mut self) {
+        self.now += 1;
+        self.mem.advance(self.now);
+        for (core, scheme) in self.cores.iter_mut().zip(self.schemes.iter_mut()) {
+            core.tick(scheme.as_mut(), &mut self.mem, &mut self.dmem, self.now);
+        }
+    }
+
+    /// Runs until a stop condition is met.
+    pub fn run(&mut self, limits: RunLimits) -> StopReason {
+        loop {
+            if self.cores.iter().all(|c| c.halted()) {
+                self.stamp_cycles();
+                return StopReason::AllHalted;
+            }
+            if limits.max_insts_per_core != u64::MAX
+                && self.cores.iter().all(|c| {
+                    c.halted() || c.stats().committed_insts >= limits.max_insts_per_core
+                })
+            {
+                self.stamp_cycles();
+                return StopReason::InstLimit;
+            }
+            if self.now >= limits.max_cycles {
+                self.stamp_cycles();
+                return StopReason::CycleLimit;
+            }
+            self.tick();
+        }
+    }
+
+    /// Clears all statistics (end-of-warm-up) while keeping architectural
+    /// and microarchitectural state.
+    pub fn reset_stats(&mut self) {
+        for c in &mut self.cores {
+            c.reset_stats();
+        }
+        self.mem.reset_stats();
+    }
+
+    fn stamp_cycles(&mut self) {
+        let now = self.now;
+        for c in &mut self.cores {
+            c.stats_mut().cycles = now;
+        }
+    }
+
+    /// Statistics of core `i`.
+    pub fn core_stats(&self, i: usize) -> &CoreStats {
+        self.cores[i].stats()
+    }
+
+    /// The pipeline of core `i` (register inspection in tests).
+    pub fn core(&self, i: usize) -> &Pipeline {
+        &self.cores[i]
+    }
+
+    /// Mutable pipeline access (e.g. to enable tracing before a run).
+    pub fn core_mut(&mut self, i: usize) -> &mut Pipeline {
+        &mut self.cores[i]
+    }
+
+    /// Shared memory hierarchy (read-only).
+    pub fn mem(&self) -> &MemHierarchy {
+        &self.mem
+    }
+
+    /// Shared memory hierarchy (harness-level operations such as timed
+    /// probe loads in attack measurement phases).
+    pub fn mem_mut(&mut self) -> &mut MemHierarchy {
+        &mut self.mem
+    }
+
+    /// Architectural data memory (read-only).
+    pub fn dmem(&self) -> &DataMem {
+        &self.dmem
+    }
+
+    /// Architectural data memory (harness-level initialization).
+    pub fn dmem_mut(&mut self) -> &mut DataMem {
+        &mut self.dmem
+    }
+
+    /// Whether every core halted.
+    pub fn all_halted(&self) -> bool {
+        self.cores.iter().all(|c| c.halted())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::{ProgramBuilder, Reg};
+    use crate::scheme::{
+        CommitAction, CommittedLoad, LoadIssue, SquashInfo, SquashResponse,
+    };
+    use cleanupspec_mem::hierarchy::{LoadReq, MemConfig};
+    use cleanupspec_mem::mshr::MshrFullError;
+    use cleanupspec_mem::types::LoadId;
+
+    #[derive(Debug)]
+    struct Plain;
+    impl SpeculationScheme for Plain {
+        fn name(&self) -> &'static str {
+            "plain"
+        }
+        fn issue_load(
+            &mut self,
+            mem: &mut MemHierarchy,
+            req: LoadIssue,
+        ) -> Result<cleanupspec_mem::hierarchy::LoadOutcome, MshrFullError> {
+            mem.load(req.core, req.line, req.now, LoadReq::non_spec(LoadId(0)))
+        }
+        fn commit_load(
+            &mut self,
+            _mem: &mut MemHierarchy,
+            _core: CoreId,
+            _load: CommittedLoad,
+            _now: Cycle,
+        ) -> CommitAction {
+            CommitAction::Proceed
+        }
+        fn on_squash(
+            &mut self,
+            _mem: &mut MemHierarchy,
+            info: SquashInfo<'_>,
+        ) -> SquashResponse {
+            SquashResponse {
+                resume_at: info.now,
+            }
+        }
+    }
+
+    fn simple_program(v: u64) -> Arc<Program> {
+        let mut b = ProgramBuilder::new("p");
+        b.movi(Reg(1), v);
+        b.halt();
+        Arc::new(b.build())
+    }
+
+    #[test]
+    fn two_cores_run_to_halt() {
+        let mem = MemHierarchy::new(MemConfig {
+            num_cores: 2,
+            ..MemConfig::default()
+        });
+        let mut sys = System::new(
+            mem,
+            CoreConfig::default(),
+            vec![Box::new(Plain), Box::new(Plain)],
+            vec![simple_program(3), simple_program(9)],
+        );
+        let reason = sys.run(RunLimits::default());
+        assert_eq!(reason, StopReason::AllHalted);
+        assert_eq!(sys.core(0).reg(Reg(1)), 3);
+        assert_eq!(sys.core(1).reg(Reg(1)), 9);
+        assert!(sys.all_halted());
+        assert!(sys.now() > 0);
+    }
+
+    #[test]
+    fn cycle_limit_stops_infinite_loop() {
+        let mut b = ProgramBuilder::new("spin");
+        let top = b.here();
+        b.jump(top);
+        let mem = MemHierarchy::new(MemConfig::default());
+        let mut sys = System::new(
+            mem,
+            CoreConfig::default(),
+            vec![Box::new(Plain)],
+            vec![Arc::new(b.build())],
+        );
+        let reason = sys.run(RunLimits {
+            max_cycles: 500,
+            max_insts_per_core: u64::MAX,
+        });
+        assert_eq!(reason, StopReason::CycleLimit);
+        assert_eq!(sys.core_stats(0).cycles, 500);
+    }
+
+    #[test]
+    fn inst_limit_stops_long_program() {
+        let mut b = ProgramBuilder::new("count");
+        b.movi(Reg(1), 1_000_000);
+        let top = b.here();
+        b.alu(
+            Reg(1),
+            crate::isa::AluOp::Sub,
+            crate::isa::Operand::Reg(Reg(1)),
+            crate::isa::Operand::Imm(1),
+        );
+        b.branch(Reg(1), crate::isa::BranchCond::NotZero, top);
+        b.halt();
+        let mem = MemHierarchy::new(MemConfig::default());
+        let mut sys = System::new(
+            mem,
+            CoreConfig::default(),
+            vec![Box::new(Plain)],
+            vec![Arc::new(b.build())],
+        );
+        let reason = sys.run(RunLimits {
+            max_cycles: 10_000_000,
+            max_insts_per_core: 5_000,
+        });
+        assert_eq!(reason, StopReason::InstLimit);
+        assert!(sys.core_stats(0).committed_insts >= 5_000);
+    }
+}

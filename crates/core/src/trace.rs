@@ -1,0 +1,171 @@
+//! Execution tracing: a bounded ring buffer of pipeline events for
+//! debugging simulations and inspecting attack timelines.
+//!
+//! Tracing is off by default (zero overhead beyond an `Option` check);
+//! enable it with [`crate::pipeline::Pipeline::enable_trace`].
+
+use crate::isa::Pc;
+use cleanupspec_mem::mshr::LoadPath;
+use cleanupspec_mem::types::{Cycle, LineAddr};
+use std::collections::VecDeque;
+use std::fmt;
+
+/// One traced pipeline event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// Instruction dispatched into the ROB.
+    Dispatch {
+        /// Sequence number.
+        seq: u64,
+        /// Fetch PC.
+        pc: Pc,
+    },
+    /// A load issued to the memory hierarchy.
+    LoadIssue {
+        /// Sequence number.
+        seq: u64,
+        /// Target line.
+        line: LineAddr,
+        /// Service path decided at issue.
+        path: LoadPath,
+        /// Whether it was speculative.
+        spec: bool,
+    },
+    /// Instruction committed (retired).
+    Commit {
+        /// Sequence number.
+        seq: u64,
+        /// PC.
+        pc: Pc,
+    },
+    /// A squash removed `squashed` instructions younger than `seq`.
+    Squash {
+        /// The squash point (the mispredicted branch / faulting load).
+        seq: u64,
+        /// Number of instructions squashed.
+        squashed: u64,
+    },
+    /// A deferred fault was raised at the ROB head.
+    Fault {
+        /// The faulting load's sequence number.
+        seq: u64,
+    },
+}
+
+/// A timestamped event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Cycle of the event.
+    pub cycle: Cycle,
+    /// The event.
+    pub event: TraceEvent,
+}
+
+impl fmt::Display for TraceRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:>8}] ", self.cycle)?;
+        match self.event {
+            TraceEvent::Dispatch { seq, pc } => write!(f, "dispatch seq={seq} pc={pc}"),
+            TraceEvent::LoadIssue {
+                seq,
+                line,
+                path,
+                spec,
+            } => write!(
+                f,
+                "load     seq={seq} line={line} path={path}{}",
+                if spec { " (spec)" } else { "" }
+            ),
+            TraceEvent::Commit { seq, pc } => write!(f, "commit   seq={seq} pc={pc}"),
+            TraceEvent::Squash { seq, squashed } => {
+                write!(f, "squash   at seq={seq}, {squashed} insts")
+            }
+            TraceEvent::Fault { seq } => write!(f, "FAULT    seq={seq}"),
+        }
+    }
+}
+
+/// Bounded event buffer (oldest events are dropped when full).
+#[derive(Clone, Debug)]
+pub struct TraceBuffer {
+    capacity: usize,
+    events: VecDeque<TraceRecord>,
+    total: u64,
+}
+
+impl TraceBuffer {
+    /// Creates a buffer holding up to `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        TraceBuffer {
+            capacity: capacity.max(1),
+            events: VecDeque::with_capacity(capacity.min(4096)),
+            total: 0,
+        }
+    }
+
+    /// Records an event.
+    pub fn push(&mut self, cycle: Cycle, event: TraceEvent) {
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+        }
+        self.events.push_back(TraceRecord { cycle, event });
+        self.total += 1;
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceRecord> {
+        self.events.iter()
+    }
+
+    /// Total events ever recorded (including dropped ones).
+    pub fn total_recorded(&self) -> u64 {
+        self.total
+    }
+
+    /// Renders the retained events as text, one per line.
+    pub fn dump(&self) -> String {
+        let mut s = String::new();
+        for r in &self.events {
+            s.push_str(&r.to_string());
+            s.push('\n');
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_buffer_drops_oldest() {
+        let mut t = TraceBuffer::new(3);
+        for i in 0..5 {
+            t.push(i, TraceEvent::Dispatch { seq: i, pc: 0 });
+        }
+        assert_eq!(t.total_recorded(), 5);
+        let cycles: Vec<Cycle> = t.events().map(|r| r.cycle).collect();
+        assert_eq!(cycles, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn dump_is_line_per_event() {
+        let mut t = TraceBuffer::new(10);
+        t.push(1, TraceEvent::Dispatch { seq: 1, pc: 7 });
+        t.push(
+            2,
+            TraceEvent::LoadIssue {
+                seq: 1,
+                line: LineAddr::new(0x40),
+                path: LoadPath::Mem,
+                spec: true,
+            },
+        );
+        t.push(9, TraceEvent::Squash { seq: 1, squashed: 4 });
+        let d = t.dump();
+        assert_eq!(d.lines().count(), 3);
+        assert!(d.contains("dispatch seq=1 pc=7"));
+        assert!(d.contains("(spec)"));
+        assert!(d.contains("squash"));
+    }
+}

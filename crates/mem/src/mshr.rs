@@ -1,0 +1,340 @@
+//! Miss-status holding registers (MSHRs) extended with CleanupSpec's
+//! Side-Effect Entry (SEFE) fields (Figure 7).
+//!
+//! Every outstanding miss carries the epoch in which it was issued. A
+//! cleanup bumps the core's current epoch; fills whose epoch no longer
+//! matches are *dropped*: the data returns from memory but no cache state is
+//! changed, and the entry is then freed (Section 3.3). This is what makes
+//! squashing still-inflight loads free.
+
+use crate::types::{CoreId, Cycle, EpochId, LineAddr, LoadId};
+
+/// Where a load was (or will be) serviced from.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum LoadPath {
+    /// Hit in the local L1 data cache.
+    L1Hit,
+    /// Missed L1, hit the shared L2.
+    L2Hit,
+    /// Hit a remote L1 holding the line in M/E (serviced via coherence).
+    RemoteL1,
+    /// Missed the whole hierarchy; serviced by DRAM.
+    Mem,
+    /// Serviced as a *dummy miss* by window protection (Section 3.6): the
+    /// line was present but transiently installed by another core, so it is
+    /// served with miss latency and no state change.
+    DummyMiss,
+}
+
+impl LoadPath {
+    /// True if the load needed a fill (i.e. it was an L1 miss with installs).
+    pub fn is_l1_miss(self) -> bool {
+        !matches!(self, LoadPath::L1Hit)
+    }
+}
+
+impl std::fmt::Display for LoadPath {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            LoadPath::L1Hit => "l1-hit",
+            LoadPath::L2Hit => "l2-hit",
+            LoadPath::RemoteL1 => "remote-l1",
+            LoadPath::Mem => "mem",
+            LoadPath::DummyMiss => "dummy-miss",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The Side-Effect Entry contents returned with the load data and retained
+/// in the load queue until retirement (Figure 7).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SefeRecord {
+    /// The load installed a line in the L1 (`L1-Fill`).
+    pub l1_fill: bool,
+    /// The load installed a line in the L2 (`L2-Fill`).
+    pub l2_fill: bool,
+    /// Line evicted from the L1 by this load's install (`L1-Evict Lineaddr`).
+    pub l1_evict: Option<LineAddr>,
+}
+
+impl SefeRecord {
+    /// Whether cleanup has any work to do for this load.
+    pub fn needs_cleanup(&self) -> bool {
+        self.l1_fill || self.l2_fill
+    }
+}
+
+/// Lifecycle of an MSHR entry.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MshrState {
+    /// Miss outstanding; fill scheduled for `complete_at`.
+    Pending,
+    /// Fill performed; waiting for the core to collect the SEFE record.
+    Filled,
+    /// Squashed while inflight (epoch mismatch): the response will be
+    /// dropped without changing cache state.
+    Dropped,
+}
+
+/// One MSHR entry (plus its SEFE fields).
+#[derive(Clone, Debug)]
+pub struct MshrEntry {
+    /// Missing line address.
+    pub line: LineAddr,
+    /// Requesting core.
+    pub core: CoreId,
+    /// Epoch at issue (SEFE `EpochID`).
+    pub epoch: EpochId,
+    /// Issuing load (SEFE `LoadID`).
+    pub load: LoadId,
+    /// Whether the load was speculative at issue (SEFE `isSpec`).
+    pub is_spec: bool,
+    /// Cycle at which the response arrives.
+    pub complete_at: Cycle,
+    /// Service path decided at issue.
+    pub path: LoadPath,
+    /// Whether the fill should install into the L2 as well (L2 miss).
+    pub wants_l2_fill: bool,
+    /// Entry lifecycle state.
+    pub state: MshrState,
+    /// SEFE produced by the fill (valid once `state == Filled`).
+    pub record: SefeRecord,
+    /// In insecure modes, a squashed load's fill still installs (the leak
+    /// CleanupSpec closes). Set by the squash handler instead of `Dropped`.
+    pub orphan: bool,
+    /// Allocation generation, to invalidate stale tokens.
+    pub gen: u64,
+}
+
+/// Handle to an MSHR entry.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct MshrToken {
+    pub(crate) core: CoreId,
+    pub(crate) idx: usize,
+    pub(crate) gen: u64,
+}
+
+/// A fixed-capacity MSHR file for one core.
+#[derive(Debug)]
+pub struct MshrFile {
+    core: CoreId,
+    slots: Vec<Option<MshrEntry>>,
+    gen: u64,
+    high_water: usize,
+}
+
+/// Error returned when the MSHR file is full (the core must stall the load).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MshrFullError;
+
+impl std::fmt::Display for MshrFullError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("all MSHR entries in use")
+    }
+}
+
+impl std::error::Error for MshrFullError {}
+
+impl MshrFile {
+    /// Creates an MSHR file with `capacity` entries.
+    pub fn new(core: CoreId, capacity: usize) -> Self {
+        MshrFile {
+            core,
+            slots: (0..capacity).map(|_| None).collect(),
+            gen: 0,
+            high_water: 0,
+        }
+    }
+
+    /// Allocates an entry.
+    ///
+    /// # Errors
+    /// Returns [`MshrFullError`] when no slot is free; the caller should
+    /// retry the access on a later cycle.
+    pub fn alloc(&mut self, entry: MshrEntry) -> Result<MshrToken, MshrFullError> {
+        let idx = self
+            .slots
+            .iter()
+            .position(|s| s.is_none())
+            .ok_or(MshrFullError)?;
+        self.gen += 1;
+        let token = MshrToken {
+            core: self.core,
+            idx,
+            gen: self.gen,
+        };
+        self.slots[idx] = Some(MshrEntry {
+            gen: self.gen,
+            ..entry
+        });
+        self.high_water = self.high_water.max(self.occupancy());
+        Ok(token)
+    }
+
+    /// Looks up a live entry by token.
+    pub fn get(&self, token: MshrToken) -> Option<&MshrEntry> {
+        self.slots
+            .get(token.idx)?
+            .as_ref()
+            .filter(|e| e.gen == token.gen)
+    }
+
+    /// Mutable lookup by token.
+    pub fn get_mut(&mut self, token: MshrToken) -> Option<&mut MshrEntry> {
+        self.slots
+            .get_mut(token.idx)?
+            .as_mut()
+            .filter(|e| e.gen == token.gen)
+    }
+
+    /// Frees the entry addressed by `token` (no-op if stale).
+    pub fn free(&mut self, token: MshrToken) {
+        if self.get(token).is_some() {
+            self.slots[token.idx] = None;
+        }
+    }
+
+    /// Finds a pending entry for `line` (miss merging).
+    pub fn find_pending(&self, line: LineAddr) -> Option<&MshrEntry> {
+        self.slots
+            .iter()
+            .flatten()
+            .find(|e| e.line == line && e.state == MshrState::Pending)
+    }
+
+    /// Iterates over live entries.
+    pub fn iter(&self) -> impl Iterator<Item = &MshrEntry> {
+        self.slots.iter().flatten()
+    }
+
+    /// Iterates mutably with slot indices (for the hierarchy's fill pass).
+    pub fn iter_mut_indexed(&mut self) -> impl Iterator<Item = (usize, &mut MshrEntry)> {
+        self.slots
+            .iter_mut()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_mut().map(|e| (i, e)))
+    }
+
+    /// Removes the entry in `idx` (used by the fill pass after dropping).
+    pub(crate) fn clear_slot(&mut self, idx: usize) {
+        self.slots[idx] = None;
+    }
+
+    /// Live entry count.
+    pub fn occupancy(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Maximum simultaneous occupancy seen.
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+
+    /// Marks the still-pending entries of this core as dropped (CleanupSpec
+    /// epoch bump) and returns how many were dropped.
+    pub fn drop_pending(&mut self) -> usize {
+        let mut n = 0;
+        for e in self.slots.iter_mut().flatten() {
+            if e.state == MshrState::Pending {
+                e.state = MshrState::Dropped;
+                n += 1;
+            }
+        }
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(line: u64, at: Cycle) -> MshrEntry {
+        MshrEntry {
+            line: LineAddr::new(line),
+            core: CoreId(0),
+            epoch: EpochId::zero(),
+            load: LoadId(0),
+            is_spec: true,
+            complete_at: at,
+            path: LoadPath::L2Hit,
+            wants_l2_fill: false,
+            state: MshrState::Pending,
+            record: SefeRecord::default(),
+            orphan: false,
+            gen: 0,
+        }
+    }
+
+    #[test]
+    fn alloc_get_free_roundtrip() {
+        let mut m = MshrFile::new(CoreId(0), 2);
+        let t = m.alloc(entry(1, 10)).unwrap();
+        assert_eq!(m.get(t).unwrap().line, LineAddr::new(1));
+        assert_eq!(m.occupancy(), 1);
+        m.free(t);
+        assert_eq!(m.occupancy(), 0);
+        assert!(m.get(t).is_none(), "token is stale after free");
+    }
+
+    #[test]
+    fn capacity_limit_enforced() {
+        let mut m = MshrFile::new(CoreId(0), 2);
+        m.alloc(entry(1, 10)).unwrap();
+        m.alloc(entry(2, 10)).unwrap();
+        assert_eq!(m.alloc(entry(3, 10)), Err(MshrFullError));
+        assert_eq!(m.high_water(), 2);
+    }
+
+    #[test]
+    fn stale_token_does_not_alias_new_entry() {
+        let mut m = MshrFile::new(CoreId(0), 1);
+        let t1 = m.alloc(entry(1, 10)).unwrap();
+        m.free(t1);
+        let _t2 = m.alloc(entry(2, 20)).unwrap();
+        assert!(m.get(t1).is_none(), "old token must not see the new entry");
+    }
+
+    #[test]
+    fn find_pending_merges_only_pending() {
+        let mut m = MshrFile::new(CoreId(0), 4);
+        let t = m.alloc(entry(7, 10)).unwrap();
+        assert!(m.find_pending(LineAddr::new(7)).is_some());
+        m.get_mut(t).unwrap().state = MshrState::Filled;
+        assert!(m.find_pending(LineAddr::new(7)).is_none());
+    }
+
+    #[test]
+    fn drop_pending_marks_all_pending() {
+        let mut m = MshrFile::new(CoreId(0), 4);
+        let t1 = m.alloc(entry(1, 10)).unwrap();
+        let t2 = m.alloc(entry(2, 10)).unwrap();
+        m.get_mut(t2).unwrap().state = MshrState::Filled;
+        assert_eq!(m.drop_pending(), 1);
+        assert_eq!(m.get(t1).unwrap().state, MshrState::Dropped);
+        assert_eq!(m.get(t2).unwrap().state, MshrState::Filled);
+    }
+
+    #[test]
+    fn sefe_needs_cleanup_logic() {
+        assert!(!SefeRecord::default().needs_cleanup());
+        assert!(SefeRecord {
+            l1_fill: true,
+            ..Default::default()
+        }
+        .needs_cleanup());
+        assert!(SefeRecord {
+            l2_fill: true,
+            ..Default::default()
+        }
+        .needs_cleanup());
+    }
+
+    #[test]
+    fn load_path_l1_miss_classification() {
+        assert!(!LoadPath::L1Hit.is_l1_miss());
+        assert!(LoadPath::L2Hit.is_l1_miss());
+        assert!(LoadPath::Mem.is_l1_miss());
+        assert!(LoadPath::RemoteL1.is_l1_miss());
+    }
+}

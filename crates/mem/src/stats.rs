@@ -1,0 +1,241 @@
+//! Statistics for the memory hierarchy: hit/miss counters, load-service
+//! classification (Figure 9), and network-traffic accounting by message
+//! class (Figure 4b).
+
+use crate::mshr::LoadPath;
+
+/// Classes of on-chip network messages, for the Figure 4(b) traffic
+/// breakdown. Each counted unit is one message (request or response).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MsgClass {
+    /// Demand request/response between L1 and L2 or L2 and memory.
+    Regular,
+    /// InvisiSpec invisible (speculative) load messages.
+    SpecLoad,
+    /// InvisiSpec commit-time update-load messages.
+    UpdateLoad,
+    /// Writebacks (dirty evictions).
+    Writeback,
+    /// Invalidations (inclusion victims, coherence, clflush).
+    Inval,
+    /// Coherence control (downgrades, upgrades, GetS-Safe NACKs).
+    Coherence,
+    /// CleanupSpec cleanup operations (invalidate + restore requests).
+    Cleanup,
+    /// CleanupSpec speculation-window extension messages (Section 3.6).
+    WindowExtend,
+}
+
+impl MsgClass {
+    /// All classes, in display order.
+    pub const ALL: [MsgClass; 8] = [
+        MsgClass::Regular,
+        MsgClass::SpecLoad,
+        MsgClass::UpdateLoad,
+        MsgClass::Writeback,
+        MsgClass::Inval,
+        MsgClass::Coherence,
+        MsgClass::Cleanup,
+        MsgClass::WindowExtend,
+    ];
+
+    fn index(self) -> usize {
+        match self {
+            MsgClass::Regular => 0,
+            MsgClass::SpecLoad => 1,
+            MsgClass::UpdateLoad => 2,
+            MsgClass::Writeback => 3,
+            MsgClass::Inval => 4,
+            MsgClass::Coherence => 5,
+            MsgClass::Cleanup => 6,
+            MsgClass::WindowExtend => 7,
+        }
+    }
+}
+
+impl std::fmt::Display for MsgClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            MsgClass::Regular => "regular",
+            MsgClass::SpecLoad => "spec-load",
+            MsgClass::UpdateLoad => "update-load",
+            MsgClass::Writeback => "writeback",
+            MsgClass::Inval => "inval",
+            MsgClass::Coherence => "coherence",
+            MsgClass::Cleanup => "cleanup",
+            MsgClass::WindowExtend => "window-extend",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Network-traffic counters by message class.
+#[derive(Clone, Debug, Default)]
+pub struct Traffic {
+    counts: [u64; 8],
+}
+
+impl Traffic {
+    /// Records `n` messages of a class.
+    pub fn add(&mut self, class: MsgClass, n: u64) {
+        self.counts[class.index()] += n;
+    }
+
+    /// Messages of one class.
+    pub fn get(&self, class: MsgClass) -> u64 {
+        self.counts[class.index()]
+    }
+
+    /// Total messages across all classes.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+}
+
+/// Figure 9 load classification: which coherence situation a load found.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum LoadClass {
+    /// Hit a line this core already had (any state), or a remote-S line —
+    /// "safe cache loads" in Figure 9.
+    SafeCache,
+    /// Hit a line held Modified/Exclusive by a *remote* L1 — the loads whose
+    /// downgrade CleanupSpec must delay ("unsafe cache loads").
+    RemoteEM,
+    /// Serviced by DRAM ("safe DRAM loads").
+    Dram,
+}
+
+/// Per-hierarchy statistics.
+#[derive(Clone, Debug, Default)]
+pub struct MemStats {
+    /// Demand loads that hit in some L1.
+    pub l1_hits: u64,
+    /// Demand loads that missed L1 and hit L2.
+    pub l2_hits: u64,
+    /// Demand loads serviced by a remote L1 (M/E downgrade).
+    pub remote_hits: u64,
+    /// Demand loads serviced by DRAM.
+    pub mem_loads: u64,
+    /// Loads serviced as window-protection dummy misses.
+    pub dummy_misses: u64,
+    /// GetS-Safe refusals (speculative load would have downgraded M/E).
+    pub gets_safe_refusals: u64,
+    /// Stores (all serviced at commit time).
+    pub stores: u64,
+    /// Store upgrades (S -> M) and RFOs.
+    pub store_upgrades: u64,
+    /// L1 evictions caused by fills.
+    pub l1_evictions: u64,
+    /// L2 evictions caused by fills.
+    pub l2_evictions: u64,
+    /// L1 back-invalidations due to inclusive L2 evictions.
+    pub back_invals: u64,
+    /// Fills dropped due to epoch mismatch (squashed inflight loads).
+    pub dropped_fills: u64,
+    /// Orphan fills performed for squashed loads (insecure modes).
+    pub orphan_fills: u64,
+    /// CleanupSpec invalidation operations executed.
+    pub cleanup_invals: u64,
+    /// CleanupSpec restore operations executed.
+    pub cleanup_restores: u64,
+    /// Figure 9 classification counters.
+    pub class_safe_cache: u64,
+    /// See [`LoadClass::RemoteEM`].
+    pub class_remote_em: u64,
+    /// See [`LoadClass::Dram`].
+    pub class_dram: u64,
+}
+
+impl MemStats {
+    /// Records the Figure 9 classification of one load.
+    pub fn classify(&mut self, class: LoadClass) {
+        match class {
+            LoadClass::SafeCache => self.class_safe_cache += 1,
+            LoadClass::RemoteEM => self.class_remote_em += 1,
+            LoadClass::Dram => self.class_dram += 1,
+        }
+    }
+
+    /// Records the service path of one demand load.
+    pub fn record_path(&mut self, path: LoadPath) {
+        match path {
+            LoadPath::L1Hit => self.l1_hits += 1,
+            LoadPath::L2Hit => self.l2_hits += 1,
+            LoadPath::RemoteL1 => self.remote_hits += 1,
+            LoadPath::Mem => self.mem_loads += 1,
+            LoadPath::DummyMiss => self.dummy_misses += 1,
+        }
+    }
+
+    /// Total demand loads observed.
+    pub fn total_loads(&self) -> u64 {
+        self.l1_hits + self.l2_hits + self.remote_hits + self.mem_loads + self.dummy_misses
+    }
+
+    /// L1 data-cache miss rate over demand loads.
+    pub fn l1_miss_rate(&self) -> f64 {
+        let total = self.total_loads();
+        if total == 0 {
+            return 0.0;
+        }
+        1.0 - self.l1_hits as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traffic_accumulates_by_class() {
+        let mut t = Traffic::default();
+        t.add(MsgClass::Regular, 3);
+        t.add(MsgClass::Writeback, 2);
+        t.add(MsgClass::Regular, 1);
+        assert_eq!(t.get(MsgClass::Regular), 4);
+        assert_eq!(t.get(MsgClass::Writeback), 2);
+        assert_eq!(t.get(MsgClass::SpecLoad), 0);
+        assert_eq!(t.total(), 6);
+    }
+
+    #[test]
+    fn all_classes_distinct_indices() {
+        let mut t = Traffic::default();
+        for (i, c) in MsgClass::ALL.iter().enumerate() {
+            t.add(*c, i as u64 + 1);
+        }
+        for (i, c) in MsgClass::ALL.iter().enumerate() {
+            assert_eq!(t.get(*c), i as u64 + 1);
+        }
+    }
+
+    #[test]
+    fn miss_rate_computation() {
+        let mut s = MemStats::default();
+        for _ in 0..90 {
+            s.record_path(LoadPath::L1Hit);
+        }
+        for _ in 0..10 {
+            s.record_path(LoadPath::L2Hit);
+        }
+        assert_eq!(s.total_loads(), 100);
+        assert!((s.l1_miss_rate() - 0.10).abs() < 1e-12);
+    }
+
+    #[test]
+    fn miss_rate_of_empty_stats_is_zero() {
+        assert_eq!(MemStats::default().l1_miss_rate(), 0.0);
+    }
+
+    #[test]
+    fn classification_counters() {
+        let mut s = MemStats::default();
+        s.classify(LoadClass::SafeCache);
+        s.classify(LoadClass::RemoteEM);
+        s.classify(LoadClass::RemoteEM);
+        s.classify(LoadClass::Dram);
+        assert_eq!(s.class_safe_cache, 1);
+        assert_eq!(s.class_remote_em, 2);
+        assert_eq!(s.class_dram, 1);
+    }
+}

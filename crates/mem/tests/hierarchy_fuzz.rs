@@ -1,0 +1,198 @@
+//! Property tests driving the memory hierarchy with random operation
+//! sequences and checking the structural invariants (inclusion, directory
+//! consistency, single-writer) plus CleanupSpec's state-restoration
+//! guarantees after every step.
+
+use cleanupspec_mem::hierarchy::{LoadKind, LoadReq, MemConfig, MemHierarchy};
+use cleanupspec_mem::types::{CoreId, Cycle, LineAddr, LoadId};
+use proptest::prelude::*;
+
+#[derive(Clone, Copy, Debug)]
+enum Op {
+    Load { core: u8, line: u64, spec: bool, downgrade: bool },
+    InvisibleLoad { core: u8, line: u64 },
+    Store { core: u8, line: u64 },
+    Clflush { core: u8, line: u64 },
+    DropInflight { core: u8 },
+    Advance { cycles: u16 },
+    Retire { core: u8, line: u64 },
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    // A small line universe forces heavy aliasing and eviction traffic.
+    let line = 0u64..96;
+    let core = 0u8..3;
+    prop_oneof![
+        5 => (core.clone(), line.clone(), any::<bool>(), any::<bool>())
+            .prop_map(|(c, l, s, d)| Op::Load { core: c, line: l, spec: s, downgrade: d }),
+        1 => (core.clone(), line.clone()).prop_map(|(c, l)| Op::InvisibleLoad { core: c, line: l }),
+        2 => (core.clone(), line.clone()).prop_map(|(c, l)| Op::Store { core: c, line: l }),
+        1 => (core.clone(), line.clone()).prop_map(|(c, l)| Op::Clflush { core: c, line: l }),
+        1 => core.clone().prop_map(|c| Op::DropInflight { core: c }),
+        4 => (1u16..300).prop_map(|n| Op::Advance { cycles: n }),
+        1 => (core, line).prop_map(|(c, l)| Op::Retire { core: c, line: l }),
+    ]
+}
+
+fn tiny_mem(window: bool) -> MemHierarchy {
+    tiny_mem_skewed(window, 1)
+}
+
+fn tiny_mem_skewed(window: bool, skews: usize) -> MemHierarchy {
+    MemHierarchy::new(MemConfig {
+        num_cores: 3,
+        l1_capacity: 4 * 64 * 2, // 2 sets x 4 ways = 8 lines: constant eviction
+        l1_ways: 4,
+        l2_capacity: 8 * 64 * 4, // 8 sets x 4 ways = 32 lines
+        l2_ways: 4,
+        l2_randomized: window,
+        l2_skews: skews,
+        window_protection: window,
+        mshrs_per_core: 8,
+        ..MemConfig::default()
+    })
+}
+
+fn apply(mem: &mut MemHierarchy, now: &mut Cycle, load_seq: &mut u64, o: Op) {
+    match o {
+        Op::Load {
+            core,
+            line,
+            spec,
+            downgrade,
+        } => {
+            *load_seq += 1;
+            let _ = mem.load(
+                CoreId(core as usize),
+                LineAddr::new(line),
+                *now,
+                LoadReq {
+                    load: LoadId(*load_seq),
+                    spec,
+                    allow_downgrade: downgrade || !spec,
+                    kind: LoadKind::Demand,
+                    tag_spec_install: spec,
+                },
+            );
+        }
+        Op::InvisibleLoad { core, line } => {
+            *load_seq += 1;
+            let _ = mem.load(
+                CoreId(core as usize),
+                LineAddr::new(line),
+                *now,
+                LoadReq {
+                    kind: LoadKind::Invisible,
+                    ..LoadReq::non_spec(LoadId(*load_seq))
+                },
+            );
+        }
+        Op::Store { core, line } => {
+            mem.store(CoreId(core as usize), LineAddr::new(line), *now);
+        }
+        Op::Clflush { core, line } => {
+            mem.clflush(CoreId(core as usize), LineAddr::new(line), *now);
+        }
+        Op::DropInflight { core } => {
+            mem.drop_core_inflight(CoreId(core as usize));
+        }
+        Op::Advance { cycles } => {
+            *now += cycles as Cycle;
+            mem.advance(*now);
+        }
+        Op::Retire { core, line } => {
+            mem.retire_load(CoreId(core as usize), LineAddr::new(line));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Invariants hold after every operation of a random sequence, with
+    /// and without randomization/window protection, and with a skewed
+    /// (CEASER-S) L2.
+    #[test]
+    fn prop_invariants_hold_under_random_traffic(
+        ops in proptest::collection::vec(op(), 1..120),
+        window in any::<bool>(),
+        skewed in any::<bool>(),
+    ) {
+        let mut mem = tiny_mem_skewed(window, if skewed && window { 2 } else { 1 });
+        let mut now: Cycle = 0;
+        let mut seq = 0u64;
+        for o in ops {
+            apply(&mut mem, &mut now, &mut seq, o);
+            mem.advance(now);
+            if let Err(e) = mem.check_invariants() {
+                panic!("invariant violated after {o:?}: {e}");
+            }
+        }
+        // Drain everything and re-check.
+        now += 10_000;
+        mem.advance(now);
+        mem.check_invariants().unwrap();
+    }
+
+    /// An invisible load never changes any snapshot, no matter the state
+    /// it is issued in.
+    #[test]
+    fn prop_invisible_loads_change_nothing(
+        setup in proptest::collection::vec(op(), 0..60),
+        core in 0u8..3,
+        line in 0u64..96,
+    ) {
+        let mut mem = tiny_mem(false);
+        let mut now: Cycle = 0;
+        let mut seq = 0u64;
+        for o in setup {
+            apply(&mut mem, &mut now, &mut seq, o);
+        }
+        now += 5_000;
+        mem.advance(now);
+        let l1_before: Vec<_> = (0..3).map(|c| mem.l1_snapshot(CoreId(c))).collect();
+        let l2_before = mem.l2_snapshot();
+        apply(&mut mem, &mut now, &mut seq, Op::InvisibleLoad { core, line });
+        now += 1_000;
+        mem.advance(now);
+        for c in 0..3 {
+            prop_assert_eq!(&l1_before[c], &mem.l1_snapshot(CoreId(c)));
+        }
+        prop_assert_eq!(l2_before, mem.l2_snapshot());
+    }
+
+    /// Dropping inflight loads always prevents their fills, regardless of
+    /// surrounding traffic.
+    #[test]
+    fn prop_dropped_loads_never_fill(
+        setup in proptest::collection::vec(op(), 0..40),
+        core in 0u8..3,
+        line in 200u64..240, // outside the setup universe
+    ) {
+        let mut mem = tiny_mem(false);
+        let mut now: Cycle = 0;
+        let mut seq = 0u64;
+        for o in setup {
+            apply(&mut mem, &mut now, &mut seq, o);
+        }
+        now += 5_000;
+        mem.advance(now);
+        seq += 1;
+        let out = mem.load(
+            CoreId(core as usize),
+            LineAddr::new(line),
+            now,
+            LoadReq {
+                spec: true,
+                ..LoadReq::non_spec(LoadId(seq))
+            },
+        );
+        prop_assume!(out.is_ok());
+        mem.drop_core_inflight(CoreId(core as usize));
+        now += 5_000;
+        mem.advance(now);
+        prop_assert!(mem.l1(CoreId(core as usize)).probe(LineAddr::new(line)).is_none());
+        prop_assert!(mem.l2().probe(LineAddr::new(line)).is_none());
+        mem.check_invariants().unwrap();
+    }
+}

@@ -1,0 +1,584 @@
+//! Attack kernels and end-to-end attack harnesses (Section 6.1):
+//!
+//! * [`spectre_v1_program`] — the Spectre Variant-1 PoC in the micro-ISA:
+//!   train a bounds check, transiently read a secret past the bound, and
+//!   transmit it through a secret-indexed `array2` access; the harness then
+//!   infers the secret with Flush+Reload-style timed probes (Figure 11).
+//! * [`transient_load_program`] — a minimal single-shot gadget that
+//!   executes exactly one wrong-path load (used by the Prime+Probe and
+//!   coherence experiments).
+//! * [`prime_probe_l1`] — the Section 2.4.1 eviction-channel experiment
+//!   showing why invalidation alone is insufficient.
+//! * [`coherence_probe`] — the Section 3.5 experiment: a transient load
+//!   must not downgrade a remote Modified line.
+
+use cleanupspec::modes::SecurityMode;
+use cleanupspec::sim::SimBuilder;
+use cleanupspec_core::isa::{AluOp, BranchCond, Operand, Program, ProgramBuilder, Reg};
+use cleanupspec_core::system::RunLimits;
+use cleanupspec_mem::types::{Addr, CoreId, Cycle};
+
+/// Memory layout of the Spectre-V1 PoC.
+#[derive(Clone, Copy, Debug)]
+pub struct SpectreConfig {
+    /// Base of `array1` (the bounds-checked array).
+    pub array1_base: u64,
+    /// Address of `array1_bound` (flushed each round to delay resolution).
+    pub bound_addr: u64,
+    /// Base of `array2` (the transmission array; 512-byte stride).
+    pub array2_base: u64,
+    /// Base of the attacker-controlled index sequence `xs`.
+    pub xs_base: u64,
+    /// Bound value stored at `bound_addr`.
+    pub bound: u64,
+    /// Out-of-bounds index whose `array1` slot holds the secret.
+    pub malicious_x: u64,
+    /// The secret byte value (paper uses 50).
+    pub secret: u64,
+    /// Training accesses before the malicious one.
+    pub train_rounds: usize,
+}
+
+impl Default for SpectreConfig {
+    fn default() -> Self {
+        SpectreConfig {
+            array1_base: 0x0001_0000,
+            bound_addr: 0x0002_0000,
+            array2_base: 0x0010_0000,
+            xs_base: 0x0003_0000,
+            bound: 16,
+            malicious_x: 0x1_0000, // secret at array1_base + 0x80000
+            secret: 50,
+            train_rounds: 40,
+        }
+    }
+}
+
+impl SpectreConfig {
+    /// Address holding the secret (reachable as `array1[malicious_x]`).
+    pub fn secret_addr(&self) -> u64 {
+        self.array1_base + self.malicious_x * 8
+    }
+
+    /// `array2` entry encoding value `v`.
+    pub fn array2_entry(&self, v: u64) -> Addr {
+        Addr::new(self.array2_base + v * 512)
+    }
+}
+
+/// Builds the Spectre Variant-1 victim/attacker program.
+///
+/// Per round `i` the program flushes the bound, loads `x = xs[i]`, performs
+/// the bounds check `if x < bound`, and on the taken (in-bounds) path
+/// accesses `array2[array1[x] * 512]`. Training rounds use `x in 1..=5`;
+/// the last round uses the malicious out-of-bounds index, so the access
+/// runs only transiently.
+pub fn spectre_v1_program(cfg: &SpectreConfig) -> Program {
+    let mut b = ProgramBuilder::new("spectre-v1");
+    let rounds = cfg.train_rounds + 1;
+    // xs = [1, 2, ..., train_rounds, malicious_x]
+    for i in 0..cfg.train_rounds {
+        b.init_mem(
+            Addr::new(cfg.xs_base + i as u64 * 8),
+            (i as u64 % 5) + 1,
+        );
+    }
+    b.init_mem(
+        Addr::new(cfg.xs_base + cfg.train_rounds as u64 * 8),
+        cfg.malicious_x,
+    );
+    b.init_mem(Addr::new(cfg.bound_addr), cfg.bound);
+    // array1[1..=5] hold their own index (benign "secrets" 1..5).
+    for v in 1..=5u64 {
+        b.init_mem(Addr::new(cfg.array1_base + v * 8), v);
+    }
+    b.init_mem(Addr::new(cfg.secret_addr()), cfg.secret);
+
+    let r_i = Reg(1); // round counter (counts down)
+    let r_xp = Reg(2); // xs pointer
+    let r_x = Reg(3);
+    let r_bound = Reg(4);
+    let r_cmp = Reg(5);
+    let r_a1 = Reg(6);
+    let r_sec = Reg(7);
+    let r_a2 = Reg(8);
+    let r_sink = Reg(9);
+    let r_baddr = Reg(10);
+    let r_warm = Reg(12);
+
+    b.init_reg(r_i, rounds as u64);
+    b.init_reg(r_xp, cfg.xs_base);
+    b.init_reg(r_baddr, cfg.bound_addr);
+    // The victim legitimately touches the secret's line once (so the
+    // transient read of it is an L1 hit, maximizing the transient window).
+    b.movi(r_warm, cfg.secret_addr());
+    b.load(r_sink, r_warm, 0);
+    b.fence();
+
+    let loop_top = b.here();
+    // Flush the bound so the bounds check resolves slowly.
+    b.clflush(r_baddr, 0);
+    b.fence();
+    b.load(r_x, r_xp, 0);
+    b.load(r_bound, r_baddr, 0); // DRAM miss: slow
+    // Lengthen the dependence chain so even a slow transient access
+    // completes inside the speculation window.
+    b.alu(r_bound, AluOp::Mul, Operand::Reg(r_bound), Operand::Imm(1));
+    b.alu(r_bound, AluOp::Mul, Operand::Reg(r_bound), Operand::Imm(1));
+    b.alu(r_bound, AluOp::Mul, Operand::Reg(r_bound), Operand::Imm(1));
+    b.alu(r_cmp, AluOp::Sub, Operand::Reg(r_x), Operand::Reg(r_bound));
+    // if x < bound (negative) -> in-bounds access path.
+    let check = b.branch(r_cmp, BranchCond::Negative, 0);
+    let out_of_bounds = b.jump(0); // skip the access
+    let access = b.here();
+    b.patch_branch(check, access);
+    b.alu(r_a1, AluOp::Shl, Operand::Reg(r_x), Operand::Imm(3));
+    b.alu(r_a1, AluOp::Add, Operand::Reg(r_a1), Operand::Imm(cfg.array1_base as i64));
+    b.load(r_sec, r_a1, 0); // array1[x] — the secret, transiently
+    b.alu(r_a2, AluOp::Mul, Operand::Reg(r_sec), Operand::Imm(512));
+    b.alu(r_a2, AluOp::Add, Operand::Reg(r_a2), Operand::Imm(cfg.array2_base as i64));
+    b.load(r_sink, r_a2, 0); // array2[secret * 512] — the transmission
+    let next = b.here();
+    b.patch_branch(out_of_bounds, next);
+    b.alu(r_xp, AluOp::Add, Operand::Reg(r_xp), Operand::Imm(8));
+    b.alu(r_i, AluOp::Sub, Operand::Reg(r_i), Operand::Imm(1));
+    b.branch(r_i, BranchCond::NotZero, loop_top);
+    b.halt();
+    b.build()
+}
+
+/// Result of one Figure-11 experiment.
+#[derive(Clone, Debug)]
+pub struct SpectreResult {
+    /// Average reload latency per `array2` index (0..64), in cycles.
+    pub avg_latency: Vec<f64>,
+    /// The secret value planted by the configuration.
+    pub secret: u64,
+    /// Indices whose reload was "fast" (below the hit/miss midpoint).
+    pub fast_indices: Vec<usize>,
+}
+
+impl SpectreResult {
+    /// Whether the attack recovered the secret: the secret index reloads
+    /// fast while not being one of the benign training indices.
+    pub fn leaked(&self) -> bool {
+        self.fast_indices.contains(&(self.secret as usize))
+    }
+}
+
+/// Runs the full Spectre-V1 attack `iters` times under `mode` and averages
+/// the reload latencies (Figure 11).
+pub fn run_spectre_v1(mode: SecurityMode, iters: usize, seed: u64) -> SpectreResult {
+    let cfg = SpectreConfig::default();
+    let entries = 64usize;
+    let mut sums = vec![0f64; entries];
+    for it in 0..iters {
+        let mut sim = SimBuilder::new(mode)
+            .program(spectre_v1_program(&cfg))
+            .seed(seed ^ (it as u64).wrapping_mul(0x9E37_79B9))
+            .build();
+        sim.run(RunLimits {
+            max_cycles: 2_000_000,
+            max_insts_per_core: u64::MAX,
+        });
+        // Let any orphaned wrong-path fill land (the non-secure leak).
+        sim.drain(500);
+        for (g, sum) in sums.iter_mut().enumerate() {
+            *sum += sim.probe_load(CoreId(0), cfg.array2_entry(g as u64)) as f64;
+        }
+    }
+    let avg: Vec<f64> = sums.iter().map(|s| s / iters as f64).collect();
+    // Midpoint threshold between L1 hit and memory latency.
+    let threshold = 55.0;
+    let fast = avg
+        .iter()
+        .enumerate()
+        .filter(|(_, l)| **l < threshold)
+        .map(|(i, _)| i)
+        .collect();
+    SpectreResult {
+        avg_latency: avg,
+        secret: cfg.secret,
+        fast_indices: fast,
+    }
+}
+
+/// Memory layout of the Meltdown-style PoC (exception-based transient
+/// execution: the permission check races the dependent access).
+#[derive(Clone, Copy, Debug)]
+pub struct MeltdownConfig {
+    /// Protected (kernel-like) address holding the secret.
+    pub secret_addr: u64,
+    /// Base of the transmission array (512-byte stride).
+    pub array2_base: u64,
+    /// The secret value planted at `secret_addr`.
+    pub secret: u64,
+}
+
+impl Default for MeltdownConfig {
+    fn default() -> Self {
+        MeltdownConfig {
+            secret_addr: 0x00F0_0000,
+            array2_base: 0x0020_0000,
+            secret: 42,
+        }
+    }
+}
+
+impl MeltdownConfig {
+    /// `array2` entry encoding value `v`.
+    pub fn array2_entry(&self, v: u64) -> Addr {
+        Addr::new(self.array2_base + v * 512)
+    }
+}
+
+/// Builds the Meltdown-style program: directly load the protected secret
+/// (which faults only at commit) and transiently transmit it through
+/// `array2[secret * 512]`. A fault handler lets the program continue.
+pub fn meltdown_program(cfg: &MeltdownConfig) -> Program {
+    let mut b = ProgramBuilder::new("meltdown");
+    b.init_mem(Addr::new(cfg.secret_addr), cfg.secret);
+    b.protect(Addr::new(cfg.secret_addr), Addr::new(cfg.secret_addr + 64));
+    let r_p = Reg(2);
+    let r_sec = Reg(3);
+    let r_a2 = Reg(4);
+    let r_sink = Reg(5);
+    b.movi(r_p, cfg.secret_addr);
+    b.load(r_sec, r_p, 0); // illegal: faults at commit
+    // Transient dependents (the race the attack wins):
+    b.alu(r_a2, AluOp::Mul, Operand::Reg(r_sec), Operand::Imm(512));
+    b.alu(r_a2, AluOp::Add, Operand::Reg(r_a2), Operand::Imm(cfg.array2_base as i64));
+    b.load(r_sink, r_a2, 0); // transmit through the cache
+    b.halt();
+    let handler = b.here();
+    b.on_fault(handler);
+    b.movi(Reg(6), 0x600D); // handler ran
+    b.halt();
+    b.build()
+}
+
+/// Result of a Meltdown run.
+#[derive(Clone, Debug)]
+pub struct MeltdownResult {
+    /// Average reload latency per `array2` index.
+    pub avg_latency: Vec<f64>,
+    /// The planted secret.
+    pub secret: u64,
+    /// Fast (cached) indices.
+    pub fast_indices: Vec<usize>,
+    /// Whether the fault handler executed (the fault was architectural).
+    pub handler_ran: bool,
+}
+
+impl MeltdownResult {
+    /// Whether the secret index reloads fast.
+    pub fn leaked(&self) -> bool {
+        self.fast_indices.contains(&(self.secret as usize))
+    }
+}
+
+/// Runs the Meltdown-style attack under `mode` (Figure-11 methodology).
+pub fn run_meltdown(mode: SecurityMode, iters: usize, seed: u64) -> MeltdownResult {
+    let cfg = MeltdownConfig::default();
+    let entries = 64usize;
+    let mut sums = vec![0f64; entries];
+    let mut handler_ran = true;
+    for it in 0..iters {
+        let mut sim = SimBuilder::new(mode)
+            .program(meltdown_program(&cfg))
+            .seed(seed ^ (it as u64).wrapping_mul(0x51_7E11))
+            .build();
+        sim.run(RunLimits {
+            max_cycles: 500_000,
+            max_insts_per_core: u64::MAX,
+        });
+        sim.drain(500);
+        handler_ran &= sim.system().core(0).reg(Reg(6)) == 0x600D;
+        for (g, sum) in sums.iter_mut().enumerate() {
+            *sum += sim.probe_load(CoreId(0), cfg.array2_entry(g as u64)) as f64;
+        }
+    }
+    let avg: Vec<f64> = sums.iter().map(|s| s / iters as f64).collect();
+    let fast = avg
+        .iter()
+        .enumerate()
+        .filter(|(_, l)| **l < 55.0)
+        .map(|(i, _)| i)
+        .collect();
+    MeltdownResult {
+        avg_latency: avg,
+        secret: cfg.secret,
+        fast_indices: fast,
+        handler_ran,
+    }
+}
+
+/// Builds a single-shot gadget that transiently loads `target_addr` on the
+/// wrong path of a mispredicted branch and halts. The branch is actually
+/// taken (skipping the load) but a cold predictor predicts not-taken, so
+/// the load runs transiently and is squashed.
+pub fn transient_load_program(target_addr: u64, trigger_addr: u64) -> Program {
+    let mut b = ProgramBuilder::new("transient-load");
+    let r_trig = Reg(2);
+    let r_cond = Reg(3);
+    let r_tgt = Reg(4);
+    let r_sink = Reg(5);
+    b.init_reg(r_tgt, target_addr);
+    b.movi(r_trig, trigger_addr);
+    // Cold load: delays the branch's resolution.
+    b.load(r_cond, r_trig, 0);
+    // cond = (value * 0) + 1  -> always 1, but dependent on the slow load.
+    b.alu(r_cond, AluOp::Mul, Operand::Reg(r_cond), Operand::Imm(0));
+    b.alu(r_cond, AluOp::Add, Operand::Reg(r_cond), Operand::Imm(1));
+    let br = b.branch(r_cond, BranchCond::NotZero, 0);
+    b.load(r_sink, r_tgt, 0); // transient
+    let skip = b.here();
+    b.patch_branch(br, skip);
+    b.halt();
+    b.build()
+}
+
+/// Result of the L1 Prime+Probe experiment.
+#[derive(Clone, Debug)]
+pub struct PrimeProbeResult {
+    /// Latency of each primed way's probe, in cycles.
+    pub probe_latencies: Vec<Cycle>,
+    /// Number of primed lines that missed on probe (evicted and not
+    /// restored — each one leaks that the victim touched this set).
+    pub evicted_primes: usize,
+}
+
+/// Prime+Probe on one L1 set (Section 2.4.1): prime all 8 ways, let the
+/// victim transiently install a line mapping to the same set, squash, and
+/// probe. With restoration (CleanupSpec) every prime hits; with naive
+/// invalidation one prime stays evicted.
+pub fn prime_probe_l1(mode: SecurityMode, seed: u64) -> PrimeProbeResult {
+    // L1: 64 KB, 8 ways, 128 sets -> set = line % 128.
+    let sets = 128u64;
+    let ways = 8u64;
+    let target_line = 0x4_0000u64; // set 0
+    let target_addr = target_line * 64;
+    // Cold trigger line in a DIFFERENT set (set 1), so only the transient
+    // load touches the primed set.
+    let trigger_addr = (0x77_0000u64 + 1) * 64;
+    let mut sim = SimBuilder::new(mode)
+        .program(transient_load_program(target_addr, trigger_addr))
+        .seed(seed)
+        .build();
+    // Prime set 0 with 8 distinct lines (not the target).
+    let prime_lines: Vec<u64> = (1..=ways).map(|k| (0x1_0000 + k * sets) * 64).collect();
+    for &a in &prime_lines {
+        sim.probe_load(CoreId(0), Addr::new(a));
+    }
+    // Confirm they are resident.
+    for &a in &prime_lines {
+        let l = sim.probe_load(CoreId(0), Addr::new(a));
+        debug_assert!(l <= 2, "prime should hit, got {l}");
+    }
+    // Victim runs: transient load into set 0, then squash (+cleanup).
+    sim.run(RunLimits {
+        max_cycles: 100_000,
+        max_insts_per_core: u64::MAX,
+    });
+    sim.drain(1_000);
+    // Probe.
+    let lat: Vec<Cycle> = prime_lines
+        .iter()
+        .map(|&a| sim.probe_load(CoreId(0), Addr::new(a)))
+        .collect();
+    let evicted = lat.iter().filter(|&&l| l > 5).count();
+    PrimeProbeResult {
+        probe_latencies: lat,
+        evicted_primes: evicted,
+    }
+}
+
+/// Result of the coherence-downgrade experiment.
+#[derive(Clone, Debug)]
+pub struct CoherenceProbeResult {
+    /// Whether the writer core still holds the line writable (M/E) after
+    /// the prober's transient load.
+    pub owner_kept_writable: bool,
+    /// GetS-Safe refusals observed (CleanupSpec's delayed loads).
+    pub gets_safe_refusals: u64,
+    /// Remote-L1 services observed (downgrades that did happen).
+    pub remote_hits: u64,
+}
+
+/// Two-core experiment (Section 3.5): core 0 keeps a line Modified; core 1
+/// transiently loads it on the wrong path. A safe design must not let the
+/// transient load downgrade core 0's line.
+pub fn coherence_probe(mode: SecurityMode, seed: u64) -> CoherenceProbeResult {
+    let shared_addr = 0x0042_0000u64;
+    let trigger_addr = 0x5555_0000u64;
+    // Writer: dirty the line, then spin on ALU work long enough for the
+    // prober's transient access to happen, then halt.
+    let mut w = ProgramBuilder::new("writer");
+    let r_a = Reg(2);
+    let r_v = Reg(3);
+    let r_i = Reg(4);
+    w.movi(r_a, shared_addr);
+    w.movi(r_v, 0xbeef);
+    w.store(r_v, r_a, 0);
+    w.movi(r_i, 3000);
+    let spin = w.here();
+    w.alu(r_i, AluOp::Sub, Operand::Reg(r_i), Operand::Imm(1));
+    w.branch(r_i, BranchCond::NotZero, spin);
+    w.halt();
+
+    let prober = {
+        let mut b = ProgramBuilder::new("prober");
+        // Give the writer time to establish M state.
+        let r_d = Reg(6);
+        b.movi(r_d, 300);
+        let d = b.here();
+        b.alu(r_d, AluOp::Sub, Operand::Reg(r_d), Operand::Imm(1));
+        b.branch(r_d, BranchCond::NotZero, d);
+        // Then the single-shot transient load of the shared line.
+        let r_trig = Reg(2);
+        let r_cond = Reg(3);
+        let r_tgt = Reg(4);
+        let r_sink = Reg(5);
+        b.init_reg(r_tgt, shared_addr);
+        b.movi(r_trig, trigger_addr);
+        b.load(r_cond, r_trig, 0);
+        b.alu(r_cond, AluOp::Mul, Operand::Reg(r_cond), Operand::Imm(0));
+        b.alu(r_cond, AluOp::Add, Operand::Reg(r_cond), Operand::Imm(1));
+        let br = b.branch(r_cond, BranchCond::NotZero, 0);
+        b.load(r_sink, r_tgt, 0); // transient remote-M load
+        let skip = b.here();
+        b.patch_branch(br, skip);
+        b.halt();
+        b.build()
+    };
+
+    let mut sim = SimBuilder::new(mode)
+        .program(w.build())
+        .program(prober)
+        .seed(seed)
+        .build();
+    sim.run(RunLimits {
+        max_cycles: 200_000,
+        max_insts_per_core: u64::MAX,
+    });
+    sim.drain(1_000);
+    let line = Addr::new(shared_addr).line();
+    let owner_state = sim
+        .mem()
+        .l1(CoreId(0))
+        .probe(line)
+        .map(|l| l.state.is_writable())
+        .unwrap_or(false);
+    CoherenceProbeResult {
+        owner_kept_writable: owner_state,
+        gets_safe_refusals: sim.mem().stats().gets_safe_refusals,
+        remote_hits: sim.mem().stats().remote_hits,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spectre_program_builds_with_expected_layout() {
+        let cfg = SpectreConfig::default();
+        let p = spectre_v1_program(&cfg);
+        assert!(p.len() > 15);
+        // Secret planted.
+        assert!(p
+            .init_mem
+            .iter()
+            .any(|(a, v)| a.raw() == cfg.secret_addr() && *v == cfg.secret));
+    }
+
+    #[test]
+    fn spectre_leaks_on_nonsecure() {
+        let r = run_spectre_v1(SecurityMode::NonSecure, 3, 1);
+        assert!(
+            r.leaked(),
+            "non-secure baseline must leak; fast={:?}",
+            r.fast_indices
+        );
+    }
+
+    #[test]
+    fn spectre_defeated_by_cleanupspec() {
+        let r = run_spectre_v1(SecurityMode::CleanupSpec, 3, 1);
+        assert!(
+            !r.leaked(),
+            "CleanupSpec must hide the secret; fast={:?}",
+            r.fast_indices
+        );
+        // Benign (trained) indices are still fast — identical to the
+        // non-secure behaviour on the correct path (Figure 11).
+        for benign in 1..=5 {
+            assert!(
+                r.fast_indices.contains(&benign),
+                "benign index {benign} should be cached; fast={:?}",
+                r.fast_indices
+            );
+        }
+    }
+
+    #[test]
+    fn meltdown_leaks_on_nonsecure_and_handler_runs() {
+        let r = run_meltdown(SecurityMode::NonSecure, 3, 7);
+        assert!(r.handler_ran, "the fault must be architectural");
+        assert!(r.leaked(), "fast={:?}", r.fast_indices);
+    }
+
+    #[test]
+    fn meltdown_defeated_by_cleanupspec() {
+        let r = run_meltdown(SecurityMode::CleanupSpec, 3, 7);
+        assert!(r.handler_ran, "defense must not break exception semantics");
+        assert!(!r.leaked(), "fast={:?}", r.fast_indices);
+    }
+
+    #[test]
+    fn fatal_fault_halts_after_cleanup() {
+        let cfg = MeltdownConfig::default();
+        let mut p = meltdown_program(&cfg);
+        p.fault_handler = None;
+        let mut sim = SimBuilder::new(SecurityMode::CleanupSpec).program(p).build();
+        let reason = sim.run(cleanupspec_core::system::RunLimits {
+            max_cycles: 200_000,
+            max_insts_per_core: u64::MAX,
+        });
+        assert_eq!(reason, cleanupspec_core::system::StopReason::AllHalted);
+        sim.drain(1_000);
+        // Even on the fatal path, the transient transmission is cleaned.
+        let line = cfg.array2_entry(cfg.secret).line();
+        assert!(sim.mem().l1(CoreId(0)).probe(line).is_none());
+        assert!(sim.mem().l2().probe(line).is_none());
+        assert_eq!(sim.core_stats(0).faults, 1);
+    }
+
+    #[test]
+    fn prime_probe_leaks_with_naive_invalidation_only() {
+        let naive = prime_probe_l1(SecurityMode::NaiveInvalidate, 3);
+        assert!(
+            naive.evicted_primes >= 1,
+            "invalidation without restore leaves the eviction visible"
+        );
+        let cusp = prime_probe_l1(SecurityMode::CleanupSpec, 3);
+        assert_eq!(
+            cusp.evicted_primes, 0,
+            "restore hides the eviction: {:?}",
+            cusp.probe_latencies
+        );
+    }
+
+    #[test]
+    fn coherence_downgrade_blocked_by_gets_safe() {
+        let ns = coherence_probe(SecurityMode::NonSecure, 5);
+        assert!(
+            !ns.owner_kept_writable,
+            "non-secure transient load downgrades the owner (remote_hits={})",
+            ns.remote_hits
+        );
+        let cs = coherence_probe(SecurityMode::CleanupSpec, 5);
+        assert!(cs.owner_kept_writable, "GetS-Safe must protect M state");
+        assert!(cs.gets_safe_refusals >= 1);
+    }
+}

@@ -1,0 +1,24 @@
+//! # cleanupspec-workloads
+//!
+//! Workload generators for the CleanupSpec reproduction: calibrated
+//! SPEC-CPU2006-like loops ([`spec`], Table 3), PARSEC/SPLASH-2-like
+//! multi-threaded sharing kernels ([`sharing`], Figure 9), deterministic
+//! microbenchmarks ([`micro`]), and the attack kernels with their
+//! end-to-end harnesses ([`attacks`]: Spectre V1 / Flush+Reload for
+//! Figure 11, Prime+Probe, and the coherence-downgrade probe).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod attacks;
+pub mod micro;
+pub mod sharing;
+pub mod spec;
+
+pub use attacks::{
+    coherence_probe, meltdown_program, prime_probe_l1, run_meltdown, run_spectre_v1,
+    spectre_v1_program, transient_load_program, CoherenceProbeResult, MeltdownConfig,
+    MeltdownResult, PrimeProbeResult, SpectreConfig, SpectreResult,
+};
+pub use sharing::{sharing_workload, SharingWorkload, SHARING_WORKLOADS};
+pub use spec::{all_spec_programs, spec_workload, SpecWorkload, SPEC_WORKLOADS};

@@ -1,0 +1,154 @@
+//! Deterministic microbenchmark kernels used by tests, ablation benches,
+//! and the quickstart example.
+
+use cleanupspec_core::isa::{AluOp, BranchCond, Operand, Program, ProgramBuilder, Reg};
+
+/// A program issuing `n` independent loads with `stride` bytes between
+/// them, starting at `base`.
+pub fn load_stream(base: u64, stride: u64, n: usize) -> Program {
+    let mut b = ProgramBuilder::new("load-stream");
+    let r_a = Reg(1);
+    let r_s = Reg(2);
+    b.init_reg(r_a, base);
+    for _ in 0..n {
+        b.load(r_s, r_a, 0);
+        b.alu(r_a, AluOp::Add, Operand::Reg(r_a), Operand::Imm(stride as i64));
+    }
+    b.halt();
+    b.build()
+}
+
+/// A pointer-chase: each load's address depends on the previous load's
+/// value. `init_mem` is pre-linked so the chain walks `n` nodes spaced
+/// `stride` bytes apart from `base`. Fully serializing — useful for
+/// latency measurement.
+pub fn pointer_chase(base: u64, stride: u64, n: usize) -> Program {
+    let mut b = ProgramBuilder::new("pointer-chase");
+    let r_p = Reg(1);
+    let r_n = Reg(2);
+    b.init_reg(r_p, base);
+    for i in 0..n {
+        let here = base + i as u64 * stride;
+        let next = base + ((i + 1) % n) as u64 * stride;
+        b.init_mem(cleanupspec_mem::types::Addr::new(here), next);
+    }
+    b.init_reg(r_n, n as u64);
+    let top = b.here();
+    b.load(r_p, r_p, 0);
+    b.alu(r_n, AluOp::Sub, Operand::Reg(r_n), Operand::Imm(1));
+    b.branch(r_n, BranchCond::NotZero, top);
+    b.halt();
+    b.build()
+}
+
+/// A mispredict storm: a loop whose conditional branch outcome alternates
+/// with a period the predictor cannot learn (outcomes from a planted
+/// random table), each mispredict squashing a block with `block_loads`
+/// wrong-path loads.
+pub fn mispredict_storm(iters: u64, block_loads: usize, seed: u64) -> Program {
+    use cleanupspec_mem::rng::mix64;
+    let outcome_base = 0x0070_0000u64;
+    let words = 1024u64;
+    let mut b = ProgramBuilder::new("mispredict-storm");
+    for i in 0..words {
+        b.init_mem(
+            cleanupspec_mem::types::Addr::new(outcome_base + i * 8),
+            mix64(seed ^ i) & 1,
+        );
+    }
+    let r_i = Reg(1);
+    let r_ptr = Reg(2);
+    let r_out = Reg(3);
+    let r_a = Reg(4);
+    let r_s = Reg(5);
+    b.init_reg(r_i, iters);
+    b.init_reg(r_ptr, outcome_base);
+    b.init_reg(r_a, 0x2000_0000);
+    let top = b.here();
+    b.load(r_out, r_ptr, 0);
+    b.alu(r_out, AluOp::Mul, Operand::Reg(r_out), Operand::Imm(1));
+    let br = b.branch(r_out, BranchCond::NotZero, 0);
+    for _ in 0..block_loads {
+        b.load(r_s, r_a, 0);
+        b.alu(r_a, AluOp::Add, Operand::Reg(r_a), Operand::Imm(64));
+    }
+    let skip = b.here();
+    b.patch_branch(br, skip);
+    b.alu(r_ptr, AluOp::Add, Operand::Reg(r_ptr), Operand::Imm(8));
+    b.alu(r_ptr, AluOp::And, Operand::Reg(r_ptr), Operand::Imm((outcome_base + (words - 1) * 8) as i64));
+    b.alu(r_i, AluOp::Sub, Operand::Reg(r_i), Operand::Imm(1));
+    b.branch(r_i, BranchCond::NotZero, top);
+    b.halt();
+    b.build()
+}
+
+/// A pure-ALU loop (no memory): the squash-free control case.
+pub fn alu_loop(iters: u64) -> Program {
+    let mut b = ProgramBuilder::new("alu-loop");
+    let r_i = Reg(1);
+    let r_x = Reg(2);
+    b.init_reg(r_i, iters);
+    let top = b.here();
+    b.alu(r_x, AluOp::Add, Operand::Reg(r_x), Operand::Imm(3));
+    b.alu(r_x, AluOp::Xor, Operand::Reg(r_x), Operand::Imm(7));
+    b.alu(r_i, AluOp::Sub, Operand::Reg(r_i), Operand::Imm(1));
+    b.branch(r_i, BranchCond::NotZero, top);
+    b.halt();
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cleanupspec::modes::SecurityMode;
+    use cleanupspec::sim::SimBuilder;
+
+    #[test]
+    fn load_stream_counts_loads() {
+        let mut sim = SimBuilder::new(SecurityMode::NonSecure)
+            .program(load_stream(0x1_0000, 64, 20))
+            .build();
+        sim.run_to_completion();
+        assert_eq!(sim.core_stats(0).committed_loads, 20);
+        assert!(sim.mem().stats().mem_loads >= 19, "distinct lines miss");
+    }
+
+    #[test]
+    fn pointer_chase_serializes() {
+        let n = 16;
+        let mut sim = SimBuilder::new(SecurityMode::NonSecure)
+            .program(pointer_chase(0x2_0000, 4096, n))
+            .build();
+        sim.run_to_completion();
+        let r = sim.report();
+        // Each chased miss costs ~ full memory latency; IPC must be tiny.
+        assert!(r.ipc() < 0.5, "chase should be latency-bound, ipc={}", r.ipc());
+    }
+
+    #[test]
+    fn mispredict_storm_squashes() {
+        let mut sim = SimBuilder::new(SecurityMode::NonSecure)
+            .program(mispredict_storm(400, 3, 7))
+            .build();
+        sim.run_to_completion();
+        let s = sim.core_stats(0);
+        assert!(
+            s.squashes > 50,
+            "storm must squash often, got {}",
+            s.squashes
+        );
+        assert!(s.squashed_loads() > 0);
+    }
+
+    #[test]
+    fn alu_loop_squash_free_after_warmup() {
+        let mut sim = SimBuilder::new(SecurityMode::NonSecure)
+            .program(alu_loop(2_000))
+            .build();
+        sim.run_to_completion();
+        let s = sim.core_stats(0);
+        // Only warm-up mispredicts (until the 13-bit global history
+        // saturates) plus the final loop fall-out.
+        assert!(s.squashes <= 20, "got {}", s.squashes);
+    }
+}

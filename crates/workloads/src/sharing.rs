@@ -1,0 +1,209 @@
+//! Multi-threaded sharing kernels standing in for the 23 PARSEC and
+//! SPLASH-2 workloads of Figure 9.
+//!
+//! Figure 9 classifies loads by the coherence situation they find: loads to
+//! lines held Modified/Exclusive by a *remote* core ("unsafe", the ones
+//! CleanupSpec must delay with GetS-Safe), other cache hits ("safe"), and
+//! DRAM loads. What matters for the reproduction is the *sharing pattern*,
+//! not the computation: each kernel here runs the same loop on four cores
+//! with a calibrated mix of
+//!
+//! * private hot loads (always safe),
+//! * reads of a read-only shared region (Shared everywhere — safe),
+//! * "lock-transfer" reads of a line the neighbouring core keeps Modified
+//!   (remote-E/M — unsafe), and
+//! * streaming DRAM loads.
+
+use cleanupspec_core::isa::{AluOp, BranchCond, Operand, Program, ProgramBuilder, Reg};
+
+/// Per-workload sharing profile.
+#[derive(Clone, Copy, Debug)]
+pub struct SharingWorkload {
+    /// Benchmark name (PARSEC or SPLASH-2).
+    pub name: &'static str,
+    /// Iterations between remote-M "lock transfer" reads (smaller = more
+    /// unsafe loads). `0` disables them entirely.
+    pub lock_period: u64,
+    /// Loads per iteration to the read-only shared region.
+    pub shared_reads: usize,
+    /// Private hot loads per iteration.
+    pub private_reads: usize,
+    /// Byte stride of the streaming DRAM load (0 = none).
+    pub dram_stride: u64,
+}
+
+/// The 23 multi-threaded workloads characterized in Figure 9.
+pub const SHARING_WORKLOADS: [SharingWorkload; 23] = [
+    // PARSEC
+    SharingWorkload { name: "blackscholes",  lock_period: 0,  shared_reads: 1, private_reads: 4, dram_stride: 6 },
+    SharingWorkload { name: "bodytrack",     lock_period: 9, shared_reads: 2, private_reads: 3, dram_stride: 4 },
+    SharingWorkload { name: "facesim",       lock_period: 16, shared_reads: 2, private_reads: 3, dram_stride: 8 },
+    SharingWorkload { name: "dedup",         lock_period: 4, shared_reads: 1, private_reads: 3, dram_stride: 10 },
+    SharingWorkload { name: "fluidanimate",  lock_period: 3,  shared_reads: 1, private_reads: 3, dram_stride: 6 },
+    SharingWorkload { name: "canneal",       lock_period: 12, shared_reads: 1, private_reads: 2, dram_stride: 40 },
+    SharingWorkload { name: "raytrace",      lock_period: 20, shared_reads: 3, private_reads: 3, dram_stride: 2 },
+    SharingWorkload { name: "streamcluster", lock_period: 6, shared_reads: 2, private_reads: 2, dram_stride: 24 },
+    SharingWorkload { name: "swaptions",     lock_period: 0,  shared_reads: 1, private_reads: 5, dram_stride: 2 },
+    SharingWorkload { name: "vips",          lock_period: 8, shared_reads: 2, private_reads: 3, dram_stride: 6 },
+    // SPLASH-2
+    SharingWorkload { name: "barnes",        lock_period: 4, shared_reads: 2, private_reads: 3, dram_stride: 6 },
+    SharingWorkload { name: "fmm",           lock_period: 10, shared_reads: 2, private_reads: 3, dram_stride: 4 },
+    SharingWorkload { name: "ocean.cont",    lock_period: 7, shared_reads: 1, private_reads: 2, dram_stride: 32 },
+    SharingWorkload { name: "ocean.ncont",   lock_period: 6, shared_reads: 1, private_reads: 2, dram_stride: 36 },
+    SharingWorkload { name: "radiosity",     lock_period: 3,  shared_reads: 2, private_reads: 3, dram_stride: 4 },
+    SharingWorkload { name: "volrend",       lock_period: 5, shared_reads: 2, private_reads: 3, dram_stride: 4 },
+    SharingWorkload { name: "water.nsq",     lock_period: 8, shared_reads: 2, private_reads: 3, dram_stride: 4 },
+    SharingWorkload { name: "water.sp",      lock_period: 12, shared_reads: 2, private_reads: 3, dram_stride: 3 },
+    SharingWorkload { name: "cholesky",      lock_period: 8, shared_reads: 1, private_reads: 3, dram_stride: 12 },
+    SharingWorkload { name: "fft",           lock_period: 24, shared_reads: 1, private_reads: 2, dram_stride: 30 },
+    SharingWorkload { name: "lu.cont",       lock_period: 14, shared_reads: 2, private_reads: 3, dram_stride: 10 },
+    SharingWorkload { name: "lu.ncont",      lock_period: 11, shared_reads: 2, private_reads: 3, dram_stride: 14 },
+    SharingWorkload { name: "radix",         lock_period: 18, shared_reads: 1, private_reads: 2, dram_stride: 28 },
+];
+
+/// Looks up a sharing workload by name.
+pub fn sharing_workload(name: &str) -> Option<SharingWorkload> {
+    SHARING_WORKLOADS.iter().copied().find(|w| w.name == name)
+}
+
+mod layout {
+    /// Per-core "mailbox" lines kept Modified by their owner.
+    pub const MAILBOX: u64 = 0x0060_0000;
+    /// Read-only shared region (16 KB). Kept small so the per-core working
+    /// set (shared + private) stays L1-resident: if shared lines thrash out
+    /// of every L1, their next toucher regains Exclusive state and the
+    /// workload manufactures remote-E hits that real lock-free kernels do
+    /// not exhibit.
+    pub const SHARED: u64 = 0x0400_0000;
+    /// Shared-region mask.
+    pub const SHARED_MASK: u64 = 0x0000_3FF8;
+    /// Per-core private hot regions (16 KB each, 1 MB apart).
+    pub const PRIVATE: u64 = 0x0800_0000;
+    /// Private mask.
+    pub const PRIVATE_MASK: u64 = 0x3FF8;
+    /// Per-core streaming regions (32 MB each).
+    pub const STREAM: u64 = 0x4000_0000;
+    /// Stream mask (full byte granularity: sub-8-byte strides must
+    /// accumulate rather than being rounded away).
+    pub const STREAM_MASK: u64 = 0x01FF_FFFF;
+}
+
+const R_ITER: Reg = Reg(1);
+const R_LCG: Reg = Reg(16);
+const R_ADDR: Reg = Reg(14);
+const R_SINK: Reg = Reg(13);
+const R_LOCKCTR: Reg = Reg(10);
+const R_STREAM: Reg = Reg(21);
+const R_VAL: Reg = Reg(9);
+
+impl SharingWorkload {
+    /// Builds the kernel for one of `num_cores` cores.
+    ///
+    /// Each core keeps its own mailbox line Modified by storing to it every
+    /// iteration, and every `lock_period` iterations reads the *next*
+    /// core's mailbox — a load that finds the line Modified in a remote L1.
+    pub fn build(&self, core: usize, num_cores: usize, seed: u64) -> Program {
+        let mut b = ProgramBuilder::new(format!("{}-c{}", self.name, core));
+        b.init_reg(R_ITER, u64::MAX / 2);
+        b.init_reg(R_LCG, seed ^ (core as u64 * 77 + 1) | 1);
+        b.init_reg(R_LOCKCTR, self.lock_period.max(1));
+        b.init_reg(R_STREAM, 0);
+        b.init_reg(R_VAL, core as u64 + 1);
+        let my_mailbox = layout::MAILBOX + core as u64 * 64;
+        let next_mailbox = layout::MAILBOX + ((core + 1) % num_cores) as u64 * 64;
+        let private_base = layout::PRIVATE + core as u64 * 0x10_0000;
+        let stream_base = layout::STREAM + core as u64 * 0x0200_0000;
+
+        // Prologue: read the whole shared region once (initialization
+        // phase, as real programs do). After every core's prologue, all
+        // shared lines sit in stable S state.
+        let r_pro = Reg(22);
+        b.movi(r_pro, layout::SHARED);
+        let pro_top = b.here();
+        b.load(R_SINK, r_pro, 0);
+        b.alu(r_pro, AluOp::Add, Operand::Reg(r_pro), Operand::Imm(64));
+        b.alu(R_ADDR, AluOp::Sub, Operand::Reg(r_pro), Operand::Imm((layout::SHARED + layout::SHARED_MASK + 8) as i64));
+        b.branch(R_ADDR, BranchCond::Negative, pro_top);
+
+        let loop_top = b.here();
+        b.alu(R_LCG, AluOp::Mul, Operand::Reg(R_LCG), Operand::Imm(6364136223846793005u64 as i64));
+        b.alu(R_LCG, AluOp::Add, Operand::Reg(R_LCG), Operand::Imm(1442695040888963407u64 as i64));
+        // Keep my mailbox Modified.
+        b.movi(R_ADDR, my_mailbox);
+        b.store(R_VAL, R_ADDR, 0);
+        // Private hot loads.
+        for k in 0..self.private_reads {
+            b.alu(R_ADDR, AluOp::Shr, Operand::Reg(R_LCG), Operand::Imm(11 + 7 * k as i64));
+            b.alu(R_ADDR, AluOp::And, Operand::Reg(R_ADDR), Operand::Imm(layout::PRIVATE_MASK as i64));
+            b.alu(R_ADDR, AluOp::Add, Operand::Reg(R_ADDR), Operand::Imm(private_base as i64));
+            b.load(R_SINK, R_ADDR, 0);
+        }
+        // Read-only shared loads (Shared state everywhere -> safe).
+        for k in 0..self.shared_reads {
+            b.alu(R_ADDR, AluOp::Shr, Operand::Reg(R_LCG), Operand::Imm(17 + 5 * k as i64));
+            b.alu(R_ADDR, AluOp::And, Operand::Reg(R_ADDR), Operand::Imm(layout::SHARED_MASK as i64));
+            b.alu(R_ADDR, AluOp::Add, Operand::Reg(R_ADDR), Operand::Imm(layout::SHARED as i64));
+            b.load(R_SINK, R_ADDR, 0);
+        }
+        // Streaming DRAM load.
+        if self.dram_stride > 0 {
+            b.alu(R_STREAM, AluOp::Add, Operand::Reg(R_STREAM), Operand::Imm(self.dram_stride as i64));
+            b.alu(R_STREAM, AluOp::And, Operand::Reg(R_STREAM), Operand::Imm(layout::STREAM_MASK as i64));
+            b.alu(R_ADDR, AluOp::Add, Operand::Reg(R_STREAM), Operand::Imm(stream_base as i64));
+            b.load(R_SINK, R_ADDR, 0);
+        }
+        // Lock transfer every `lock_period` iterations: read the remote
+        // core's Modified mailbox.
+        if self.lock_period > 0 {
+            b.alu(R_LOCKCTR, AluOp::Sub, Operand::Reg(R_LOCKCTR), Operand::Imm(1));
+            let skip_br = b.branch(R_LOCKCTR, BranchCond::NotZero, 0);
+            b.movi(R_ADDR, next_mailbox);
+            b.load(R_SINK, R_ADDR, 0); // remote-E/M load
+            b.movi(R_LOCKCTR, self.lock_period);
+            let after = b.here();
+            b.patch_branch(skip_br, after);
+        }
+        b.alu(R_ITER, AluOp::Sub, Operand::Reg(R_ITER), Operand::Imm(1));
+        b.branch(R_ITER, BranchCond::NotZero, loop_top);
+        b.halt();
+        b.build()
+    }
+
+    /// Builds the per-core programs for a `num_cores`-way run.
+    pub fn build_all(&self, num_cores: usize, seed: u64) -> Vec<Program> {
+        (0..num_cores)
+            .map(|c| self.build(c, num_cores, seed))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twenty_three_named_workloads() {
+        assert_eq!(SHARING_WORKLOADS.len(), 23);
+        let names: std::collections::HashSet<_> =
+            SHARING_WORKLOADS.iter().map(|w| w.name).collect();
+        assert_eq!(names.len(), 23);
+    }
+
+    #[test]
+    fn per_core_programs_differ_in_regions() {
+        let w = sharing_workload("barnes").unwrap();
+        let ps = w.build_all(4, 1);
+        assert_eq!(ps.len(), 4);
+        // Different cores produce different code (different bases).
+        assert_ne!(ps[0].insts(), ps[1].insts());
+    }
+
+    #[test]
+    fn lockless_workloads_have_no_mailbox_read() {
+        let w = sharing_workload("blackscholes").unwrap();
+        assert_eq!(w.lock_period, 0);
+        let p = w.build(0, 4, 1);
+        // Just sanity: it builds and loops.
+        assert!(p.len() > 5);
+    }
+}

@@ -1,0 +1,73 @@
+//! Quickstart: build a small program, run it under the non-secure baseline
+//! and under CleanupSpec, and compare the reports.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use cleanupspec::prelude::*;
+
+/// A little loop with a data-dependent branch and a streaming load — enough
+/// to produce mispredictions, wrong-path loads, and cleanups.
+fn demo_program() -> Program {
+    use cleanupspec_suite::core_sim::isa::{AluOp, BranchCond, Operand};
+    let mut b = ProgramBuilder::new("quickstart");
+    let r_i = Reg(1);
+    let r_lcg = Reg(2);
+    let r_addr = Reg(3);
+    let r_val = Reg(4);
+    let r_stream = Reg(5);
+    b.init_reg(r_i, 20_000);
+    b.init_reg(r_lcg, 0x1234_5678_9abc_def1);
+    let top = b.here();
+    // Pseudo-random value drives a hard-to-predict branch.
+    b.alu(r_lcg, AluOp::Mul, Operand::Reg(r_lcg), Operand::Imm(6364136223846793005u64 as i64));
+    b.alu(r_lcg, AluOp::Add, Operand::Reg(r_lcg), Operand::Imm(1442695040888963407u64 as i64));
+    b.alu(r_val, AluOp::Shr, Operand::Reg(r_lcg), Operand::Imm(61));
+    let br = b.branch(r_val, BranchCond::NotZero, 0);
+    // Fall-through block: a slowly streaming load (crosses into a new,
+    // missing line every 8th execution), squashed when the branch above
+    // mispredicts.
+    b.alu(r_stream, AluOp::Add, Operand::Reg(r_stream), Operand::Imm(8));
+    b.alu(r_addr, AluOp::Add, Operand::Reg(r_stream), Operand::Imm(0x1000_0000));
+    b.load(r_val, r_addr, 0);
+    let skip = b.here();
+    b.patch_branch(br, skip);
+    // Common path: two hot loads that always hit.
+    b.alu(r_addr, AluOp::And, Operand::Reg(r_lcg), Operand::Imm(0x1FF8));
+    b.alu(r_addr, AluOp::Add, Operand::Reg(r_addr), Operand::Imm(0x10_0000));
+    b.load(r_val, r_addr, 0);
+    b.alu(r_addr, AluOp::Shr, Operand::Reg(r_lcg), Operand::Imm(17));
+    b.alu(r_addr, AluOp::And, Operand::Reg(r_addr), Operand::Imm(0x1FF8));
+    b.alu(r_addr, AluOp::Add, Operand::Reg(r_addr), Operand::Imm(0x20_0000));
+    b.load(r_val, r_addr, 0);
+    b.alu(r_i, AluOp::Sub, Operand::Reg(r_i), Operand::Imm(1));
+    b.branch(r_i, BranchCond::NotZero, top);
+    b.halt();
+    b.build()
+}
+
+fn main() {
+    for mode in [SecurityMode::NonSecure, SecurityMode::CleanupSpec] {
+        let mut sim = SimBuilder::new(mode).program(demo_program()).build();
+        sim.run_to_completion();
+        let r = sim.report();
+        let s = &r.cores[0];
+        println!("== {} ==", mode);
+        println!("  cycles            : {}", r.cycles);
+        println!("  instructions      : {}", s.committed_insts);
+        println!("  IPC               : {:.2}", r.ipc());
+        println!("  branch mispredicts: {}", s.mispredicts);
+        println!("  squashes          : {}", s.squashes);
+        println!("  squashed loads    : {}", s.squashed_loads());
+        println!("  L1 miss rate      : {:.2}%", r.mem.l1_miss_rate() * 100.0);
+        println!("  cleanup invals    : {}", r.mem.cleanup_invals);
+        println!("  cleanup restores  : {}", r.mem.cleanup_restores);
+        println!("  dropped fills     : {}", r.mem.dropped_fills);
+        println!();
+    }
+    println!("CleanupSpec pays only on mis-speculation: the cycle gap is the");
+    println!("squash-time stall (waiting out inflight correct-path loads, then");
+    println!("dropping or undoing the wrong-path ones). This demo mispredicts");
+    println!("~12x per kilo-instruction — astar-like, near the paper's worst case.");
+}

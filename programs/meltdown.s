@@ -1,0 +1,17 @@
+; Meltdown-style exception attack: read a protected word, transmit it
+; through the cache before the deferred permission check faults.
+;
+; Run:  cargo run --release -p cleanupspec-asm --bin casm -- programs/meltdown.s --mode cleanupspec
+.word 0xF00000 = 42                 ; kernel secret
+.protect 0xF00000 0xF00040
+.fault_handler recover
+
+    movi r1, 0xF00000
+    ld r2, [r1]                     ; illegal; faults at commit
+    mul r3, r2, 512
+    add r3, r3, 0x200000
+    ld r4, [r3]                     ; transient transmission
+    halt
+recover:
+    movi r6, 0x600D
+    halt

@@ -1,0 +1,16 @@
+; A 16-node pointer chase: every load's address is the previous load's
+; value — a pure memory-latency microbenchmark.
+;
+; Run:  cargo run --release -p cleanupspec-asm --bin casm -- programs/pointer_chase.s
+.word 0x40000 = 0x41000
+.word 0x41000 = 0x42000
+.word 0x42000 = 0x43000
+.word 0x43000 = 0x40000
+.reg r1 = 0x40000
+.reg r2 = 64
+
+chase:
+    ld r1, [r1]
+    sub r2, r2, 1
+    bne r2, chase
+    halt

@@ -1,0 +1,47 @@
+; Spectre Variant-1 in micro-ISA assembly (see crates/workloads for the
+; programmatic builder used by the Figure 11 harness).
+;
+; Run:  cargo run --release -p cleanupspec-asm --bin casm -- programs/spectre_v1.s --mode cleanupspec
+;
+; r1 = round counter, r10 = &bound, r2 = &xs[i]
+.word 0x20000 = 16                  ; array1_bound
+.word 0x10008 = 1                   ; array1[1..6] = 1..5 (benign)
+.word 0x10010 = 2
+.word 0x10018 = 3
+.word 0x10020 = 4
+.word 0x10028 = 5
+.word 0x90000 = 50                  ; the secret, at array1 + malicious_x*8
+.word 0x30000 = 1 2 3 4 5 1 2 3 4 5 1 2 3 4 5 1 2 3 4 5
+.word 0x300a0 = 1 2 3 4 5 1 2 3 4 5 1 2 3 4 5 1 2 3 4 5
+.word 0x30140 = 65536               ; xs[40] = malicious_x
+.reg r1 = 41
+.reg r2 = 0x30000
+.reg r10 = 0x20000
+
+; warm the secret's line like the victim would
+    movi r12, 0x90000
+    ld r9, [r12]
+    fence
+round:
+    clflush [r10]                   ; flush the bound: slow bounds check
+    fence
+    ld r3, [r2]                     ; x = xs[i]
+    ld r4, [r10]                    ; bound (DRAM miss)
+    mul r4, r4, 1
+    mul r4, r4, 1
+    mul r4, r4, 1
+    sub r5, r3, r4
+    blt r5, access                  ; if x < bound: in-bounds
+    jmp next
+access:
+    shl r6, r3, 3
+    add r6, r6, 0x10000             ; &array1[x]
+    ld r7, [r6]                     ; secret (transient on the last round)
+    mul r8, r7, 512
+    add r8, r8, 0x100000            ; &array2[secret*512]
+    ld r9, [r8]                     ; transmit
+next:
+    add r2, r2, 8
+    sub r1, r1, 1
+    bne r1, round
+    halt

@@ -1,0 +1,10 @@
+//! Umbrella crate for the CleanupSpec reproduction workspace.
+//!
+//! Re-exports the public crates so examples and integration tests can use a
+//! single dependency. See the [`cleanupspec`] crate for the main API.
+
+pub use cleanupspec;
+pub use cleanupspec_asm as asm;
+pub use cleanupspec_core as core_sim;
+pub use cleanupspec_mem as mem;
+pub use cleanupspec_workloads as workloads;

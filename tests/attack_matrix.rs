@@ -1,0 +1,114 @@
+//! The security matrix: every attack channel against every mode, checked
+//! against the defense claims (Sections 2.4, 3.5, 4, 6.1).
+
+use cleanupspec::modes::SecurityMode;
+use cleanupspec_suite::workloads::attacks::{
+    coherence_probe, prime_probe_l1, run_meltdown, run_spectre_v1,
+};
+
+#[test]
+fn spectre_v1_matrix() {
+    for mode in SecurityMode::ALL {
+        // The Table-1 ablations use the non-secure scheme; skip the ones
+        // whose purpose is performance, keeping the security-relevant set.
+        if matches!(
+            mode,
+            SecurityMode::L1RandomOnly | SecurityMode::L2RandomOnly | SecurityMode::BothRandomOnly
+        ) {
+            continue;
+        }
+        let r = run_spectre_v1(mode, 3, 0xbead);
+        assert_eq!(
+            r.leaked(),
+            !mode.defends_install_channel(),
+            "mode {mode}: leaked={} fast={:?}",
+            r.leaked(),
+            r.fast_indices
+        );
+        // Every mode must preserve correct-path caching of the benign
+        // indices — that is the paper's "no overhead on the correct path"
+        // argument in Figure 11.
+        for benign in 1..=5usize {
+            assert!(
+                r.fast_indices.contains(&benign),
+                "mode {mode}: benign index {benign} not cached"
+            );
+        }
+    }
+}
+
+#[test]
+fn meltdown_matrix() {
+    // Exception-based transient execution: same transmission channel, so
+    // the same defense matrix applies (paper Section 7.1).
+    for mode in [
+        SecurityMode::NonSecure,
+        SecurityMode::CleanupSpec,
+        SecurityMode::NaiveInvalidate,
+        SecurityMode::InvisiSpecInitial,
+        SecurityMode::DelayOnMiss,
+    ] {
+        let r = run_meltdown(mode, 3, 0xfee1);
+        assert!(r.handler_ran, "mode {mode}: fault handler must run");
+        assert_eq!(
+            r.leaked(),
+            !mode.defends_install_channel(),
+            "mode {mode}: leaked={} fast={:?}",
+            r.leaked(),
+            r.fast_indices
+        );
+    }
+}
+
+#[test]
+fn randomization_alone_does_not_stop_spectre() {
+    // The Table-1 ablations randomize but never undo: the Flush+Reload
+    // install channel stays wide open.
+    let r = run_spectre_v1(SecurityMode::BothRandomOnly, 3, 0xbead);
+    assert!(r.leaked(), "randomization without undo must still leak");
+}
+
+#[test]
+fn prime_probe_matrix() {
+    // Eviction channel: only restore-based or invisible designs close it.
+    let cases = [
+        (SecurityMode::NonSecure, false),
+        (SecurityMode::CleanupSpec, true),
+        (SecurityMode::NaiveInvalidate, false),
+        (SecurityMode::InvisiSpecInitial, true),
+    ];
+    for (mode, defended) in cases {
+        let r = prime_probe_l1(mode, 11);
+        if defended {
+            assert_eq!(
+                r.evicted_primes, 0,
+                "mode {mode} leaked via eviction: {:?}",
+                r.probe_latencies
+            );
+        } else {
+            assert!(
+                r.evicted_primes >= 1,
+                "mode {mode} unexpectedly hid the eviction"
+            );
+        }
+    }
+}
+
+#[test]
+fn coherence_matrix() {
+    for mode in [
+        SecurityMode::CleanupSpec,
+        SecurityMode::NaiveInvalidate,
+        SecurityMode::InvisiSpecInitial,
+        SecurityMode::InvisiSpecRevised,
+        SecurityMode::DelaySpeculativeLoads,
+    ] {
+        let r = coherence_probe(mode, 21);
+        assert!(
+            r.owner_kept_writable,
+            "mode {mode}: transient load downgraded a remote M line"
+        );
+    }
+    let ns = coherence_probe(SecurityMode::NonSecure, 21);
+    assert!(!ns.owner_kept_writable, "baseline should downgrade");
+}

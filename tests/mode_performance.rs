@@ -1,0 +1,106 @@
+//! Cross-crate performance-ordering tests: the qualitative claims of
+//! Figures 4/12 and Table 6 must hold on the calibrated workloads.
+
+use cleanupspec::modes::SecurityMode;
+use cleanupspec::sim::{SimBuilder, SimReport};
+use cleanupspec_suite::workloads::spec::spec_workload;
+
+fn run(mode: SecurityMode, name: &str, insts: u64) -> SimReport {
+    let w = spec_workload(name).expect("known workload");
+    let mut sim = SimBuilder::new(mode).program(w.build(99)).seed(3).build();
+    sim.run_with_warmup(insts / 4, insts);
+    sim.report()
+}
+
+fn cpi(r: &SimReport) -> f64 {
+    r.cycles as f64 / r.total_insts().max(1) as f64
+}
+
+#[test]
+fn invisispec_initial_is_much_slower_than_cleanupspec() {
+    // Pick a memory-lively workload where the Redo cost shows clearly.
+    let insts = 60_000;
+    let base = run(SecurityMode::NonSecure, "sphinx3", insts);
+    let cusp = run(SecurityMode::CleanupSpec, "sphinx3", insts);
+    let invi = run(SecurityMode::InvisiSpecInitial, "sphinx3", insts);
+    let s_cusp = cpi(&cusp) / cpi(&base);
+    let s_invi = cpi(&invi) / cpi(&base);
+    assert!(
+        s_invi > s_cusp + 0.05,
+        "Redo ({s_invi:.3}) must cost far more than Undo ({s_cusp:.3})"
+    );
+    assert!(s_invi > 1.15, "InvisiSpec-initial should exceed 15% here");
+}
+
+#[test]
+fn cleanupspec_is_cheap_on_predictable_workloads() {
+    let insts = 60_000;
+    for name in ["libq", "milc", "gcc"] {
+        let base = run(SecurityMode::NonSecure, name, insts);
+        let cusp = run(SecurityMode::CleanupSpec, name, insts);
+        let s = cpi(&cusp) / cpi(&base);
+        assert!(
+            s < 1.06,
+            "{name}: CleanupSpec should be nearly free on low-squash \
+             workloads, got {s:.3}"
+        );
+    }
+}
+
+#[test]
+fn cleanupspec_costs_most_on_mispredict_heavy_workloads() {
+    let insts = 60_000;
+    let astar_b = run(SecurityMode::NonSecure, "astar", insts);
+    let astar_c = run(SecurityMode::CleanupSpec, "astar", insts);
+    let libq_b = run(SecurityMode::NonSecure, "libq", insts);
+    let libq_c = run(SecurityMode::CleanupSpec, "libq", insts);
+    let s_astar = cpi(&astar_c) / cpi(&astar_b);
+    let s_libq = cpi(&libq_c) / cpi(&libq_b);
+    assert!(
+        s_astar > s_libq,
+        "slowdown must track squash frequency: astar {s_astar:.3} vs libq {s_libq:.3}"
+    );
+}
+
+#[test]
+fn invisispec_doubles_memory_traffic_share() {
+    use cleanupspec_mem::stats::MsgClass;
+    let insts = 60_000;
+    let base = run(SecurityMode::NonSecure, "soplex", insts);
+    let invi = run(SecurityMode::InvisiSpecInitial, "soplex", insts);
+    assert!(
+        invi.traffic_vs(&base) > 1.3,
+        "Redo must add traffic, got {:.2}",
+        invi.traffic_vs(&base)
+    );
+    let spec_share =
+        invi.traffic_share(MsgClass::SpecLoad) + invi.traffic_share(MsgClass::UpdateLoad);
+    assert!(
+        spec_share > 0.3,
+        "invisible+update loads should dominate extra traffic, got {spec_share:.2}"
+    );
+}
+
+#[test]
+fn cleanupspec_adds_little_traffic() {
+    let insts = 60_000;
+    let base = run(SecurityMode::NonSecure, "soplex", insts);
+    let cusp = run(SecurityMode::CleanupSpec, "soplex", insts);
+    let t = cusp.traffic_vs(&base);
+    assert!(
+        t < 1.15,
+        "CleanupSpec's extra accesses are <2% per the paper; traffic ratio {t:.2}"
+    );
+}
+
+#[test]
+fn window_extension_messages_are_rare() {
+    let insts = 60_000;
+    let cusp = run(SecurityMode::CleanupSpec, "lbm", insts);
+    let msgs = cusp.cores[0].window_extend_msgs;
+    let loads = cusp.cores[0].committed_loads.max(1);
+    assert!(
+        (msgs as f64) < 0.05 * loads as f64,
+        ">98% of loads commit within one window interval; got {msgs} msgs / {loads} loads"
+    );
+}

@@ -1,0 +1,53 @@
+//! Tests of the pipeline's event-trace infrastructure against a known
+//! attack timeline.
+
+use cleanupspec::prelude::*;
+use cleanupspec_suite::core_sim::trace::TraceEvent;
+use cleanupspec_suite::workloads::attacks::{meltdown_program, MeltdownConfig};
+
+#[test]
+fn trace_captures_meltdown_timeline() {
+    let cfg = MeltdownConfig::default();
+    let mut sim = SimBuilder::new(SecurityMode::CleanupSpec)
+        .program(meltdown_program(&cfg))
+        .build();
+    sim.system_mut().core_mut(0).enable_trace(4096);
+    sim.run(RunLimits {
+        max_cycles: 200_000,
+        max_insts_per_core: u64::MAX,
+    });
+    let trace = sim.system().core(0).trace().expect("tracing enabled");
+    let events: Vec<_> = trace.events().map(|r| r.event).collect();
+    // The secret load and the transient transmission both issued...
+    let loads: Vec<_> = events
+        .iter()
+        .filter(|e| matches!(e, TraceEvent::LoadIssue { .. }))
+        .collect();
+    assert!(loads.len() >= 2, "secret + transmission loads: {loads:?}");
+    // ...a fault was raised...
+    assert!(events.iter().any(|e| matches!(e, TraceEvent::Fault { .. })));
+    // ...and the timeline is cycle-monotonic.
+    let cycles: Vec<_> = trace.events().map(|r| r.cycle).collect();
+    assert!(cycles.windows(2).all(|w| w[0] <= w[1]));
+    // The dump is renderable and mentions the fault.
+    let dump = trace.dump();
+    assert!(dump.contains("FAULT"));
+    assert!(dump.contains("dispatch"));
+}
+
+#[test]
+fn trace_disabled_by_default_and_bounded_when_on() {
+    let cfg = MeltdownConfig::default();
+    let mut sim = SimBuilder::new(SecurityMode::NonSecure)
+        .program(meltdown_program(&cfg))
+        .build();
+    assert!(sim.system().core(0).trace().is_none());
+    sim.system_mut().core_mut(0).enable_trace(4);
+    sim.run(RunLimits {
+        max_cycles: 200_000,
+        max_insts_per_core: u64::MAX,
+    });
+    let t = sim.system().core(0).trace().unwrap();
+    assert!(t.events().count() <= 4, "ring buffer bound respected");
+    assert!(t.total_recorded() > 4, "more events happened than retained");
+}
