@@ -87,8 +87,14 @@ fn main() -> ExitCode {
     println!("cycles       : {}", r.cycles);
     println!("instructions : {}", s.committed_insts);
     println!("IPC          : {:.3}", r.ipc());
-    println!("loads/stores : {} / {}", s.committed_loads, s.committed_stores);
-    println!("branches     : {} ({} mispredicted)", s.committed_branches, s.mispredicts);
+    println!(
+        "loads/stores : {} / {}",
+        s.committed_loads, s.committed_stores
+    );
+    println!(
+        "branches     : {} ({} mispredicted)",
+        s.committed_branches, s.mispredicts
+    );
     println!("squashes     : {} ({} faults)", s.squashes, s.faults);
     println!("L1 miss rate : {:.2}%", r.mem.l1_miss_rate() * 100.0);
     println!(

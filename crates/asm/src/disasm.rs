@@ -75,7 +75,13 @@ pub fn disassemble(p: &Program) -> String {
                 op: AluOp::Add,
                 ..
             } => format!("movi {dst}, {}", imm(v)),
-            Inst::Alu { dst, src1, src2, op, .. } => {
+            Inst::Alu {
+                dst,
+                src1,
+                src2,
+                op,
+                ..
+            } => {
                 let s1 = match src1 {
                     Operand::Reg(r) => format!("{r}"),
                     // Normalize imm-first ALU forms through a movi-less

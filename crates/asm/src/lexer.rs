@@ -106,8 +106,9 @@ pub fn lex_line(line_no: usize, src: &str) -> Result<Vec<Token>, LexError> {
                 chars.next();
                 // negative literal
                 let start = chars.peek().map(|&(j, _)| j).unwrap_or(code.len());
-                let num =
-                    take_while(code, start, &mut chars, |c| c.is_ascii_alphanumeric() || c == '_');
+                let num = take_while(code, start, &mut chars, |c| {
+                    c.is_ascii_alphanumeric() || c == '_'
+                });
                 if num.is_empty() {
                     out.push(Token::Minus);
                 } else {
@@ -131,8 +132,9 @@ pub fn lex_line(line_no: usize, src: &str) -> Result<Vec<Token>, LexError> {
                 out.push(Token::Directive(name));
             }
             c if c.is_ascii_digit() => {
-                let num =
-                    take_while(code, i, &mut chars, |c| c.is_ascii_alphanumeric() || c == '_');
+                let num = take_while(code, i, &mut chars, |c| {
+                    c.is_ascii_alphanumeric() || c == '_'
+                });
                 let v = parse_int(&num).ok_or_else(|| LexError {
                     line: line_no,
                     message: format!("bad number '{num}'"),

@@ -147,12 +147,10 @@ pub fn assemble(name: &str, src: &str) -> Result<Program, AsmError> {
         match stmt {
             Stmt::Inst(i) => insts.push(i),
             Stmt::BranchTo { template, label } => {
-                let target = *labels
-                    .get(&label)
-                    .ok_or_else(|| AsmError {
-                        line,
-                        message: format!("unknown label '{label}'"),
-                    })?;
+                let target = *labels.get(&label).ok_or_else(|| AsmError {
+                    line,
+                    message: format!("unknown label '{label}'"),
+                })?;
                 insts.push(match template {
                     Inst::Branch { src, cond, .. } => Inst::Branch { src, cond, target },
                     Inst::Jump { .. } => Inst::Jump { target },
@@ -238,7 +236,10 @@ fn parse_inst(line: usize, toks: &[Token]) -> Result<Stmt, AsmError> {
         }
         "clflush" => {
             let (b, off) = parse_mem(line, rest)?;
-            Ok(Stmt::Inst(Inst::Clflush { base: b, offset: off }))
+            Ok(Stmt::Inst(Inst::Clflush {
+                base: b,
+                offset: off,
+            }))
         }
         "beq" | "bne" | "blt" => {
             let (r, label) = parse_reg_label(line, rest)?;
@@ -374,10 +375,9 @@ fn parse_word_directive(line: usize, t: &[Token]) -> Result<(u64, Vec<u64>), Asm
 
 fn parse_two_ints(line: usize, t: &[Token]) -> Result<(u64, u64), AsmError> {
     match t {
-        [Token::Int(a), Token::Int(b)] => Ok((
-            int_as_i64(line, *a)? as u64,
-            int_as_i64(line, *b)? as u64,
-        )),
+        [Token::Int(a), Token::Int(b)] => {
+            Ok((int_as_i64(line, *a)? as u64, int_as_i64(line, *b)? as u64))
+        }
         _ => err(line, "expected two addresses"),
     }
 }
@@ -451,7 +451,10 @@ mod tests {
         .unwrap();
         assert_eq!(p.init_mem.len(), 3);
         assert_eq!(p.init_mem[1], (Addr::new(0x1008), 8));
-        assert_eq!(p.protected_ranges, vec![(Addr::new(0xF000), Addr::new(0xF040))]);
+        assert_eq!(
+            p.protected_ranges,
+            vec![(Addr::new(0xF000), Addr::new(0xF040))]
+        );
         assert_eq!(
             p.fetch(1),
             Inst::Load {

@@ -1,12 +1,15 @@
-//! Criterion microbenchmarks of the simulator's hot components: the cache
-//! tag array, the CEASER cipher, the branch predictor, and the MSHR file.
+//! Microbenchmarks of the simulator's hot components: the cache tag array,
+//! the CEASER cipher, the branch predictor, and the MSHR file. Run with
+//! `cargo bench --bench components [filter]`.
 
+use cleanupspec_bench::microbench::Bencher;
+use cleanupspec_core::bpred::TournamentPredictor;
 use cleanupspec_mem::cache::{CacheConfig, Mesi, SetAssocCache};
 use cleanupspec_mem::ceaser::{CeaserCipher, Indexer};
 use cleanupspec_mem::mshr::{LoadPath, MshrEntry, MshrFile, MshrState, SefeRecord};
 use cleanupspec_mem::replacement::ReplacementKind;
 use cleanupspec_mem::types::{CoreId, EpochId, LineAddr, LoadId};
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
 
 fn l1_cache() -> SetAssocCache {
     SetAssocCache::new(
@@ -22,93 +25,85 @@ fn l1_cache() -> SetAssocCache {
     )
 }
 
-fn bench_cache(c: &mut Criterion) {
-    let mut g = c.benchmark_group("cache");
-    g.bench_function("probe_hit", |b| {
+fn bench_cache(b: &Bencher) {
+    {
         let mut cache = l1_cache();
         cache.install(LineAddr::new(42), Mesi::Exclusive, false, None);
-        b.iter(|| black_box(cache.probe(black_box(LineAddr::new(42))).is_some()));
-    });
-    g.bench_function("probe_miss", |b| {
+        b.run("cache", "probe_hit", || {
+            cache.probe(black_box(LineAddr::new(42))).is_some()
+        });
+    }
+    {
         let cache = l1_cache();
-        b.iter(|| black_box(cache.probe(black_box(LineAddr::new(99))).is_none()));
-    });
-    g.bench_function("install_evict_cycle", |b| {
+        b.run("cache", "probe_miss", || {
+            cache.probe(black_box(LineAddr::new(99))).is_none()
+        });
+    }
+    {
         let mut cache = l1_cache();
         let mut i = 0u64;
-        b.iter(|| {
+        b.run("cache", "install_evict_cycle", || {
             i += 1;
-            black_box(cache.install(LineAddr::new(i * 128), Mesi::Shared, false, None))
+            cache.install(LineAddr::new(i * 128), Mesi::Shared, false, None)
         });
-    });
-    g.finish();
+    }
 }
 
-fn bench_ceaser(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ceaser");
+fn bench_ceaser(b: &Bencher) {
     let cipher = CeaserCipher::new(0xC0FFEE);
-    g.bench_function("encrypt", |b| {
-        let mut i = 0u64;
-        b.iter(|| {
-            i += 1;
-            black_box(cipher.encrypt(black_box(LineAddr::new(i))))
-        });
+    let mut i = 0u64;
+    b.run("ceaser", "encrypt", || {
+        i += 1;
+        cipher.encrypt(black_box(LineAddr::new(i)))
     });
     let idx = Indexer::ceaser(1);
-    g.bench_function("set_index", |b| {
-        let mut i = 0u64;
-        b.iter(|| {
-            i += 1;
-            black_box(idx.set_index(black_box(LineAddr::new(i)), 2048))
-        });
+    let mut j = 0u64;
+    b.run("ceaser", "set_index", || {
+        j += 1;
+        idx.set_index(black_box(LineAddr::new(j)), 2048)
     });
-    g.finish();
 }
 
-fn bench_bpred(c: &mut Criterion) {
-    use cleanupspec_core::bpred::TournamentPredictor;
-    let mut g = c.benchmark_group("bpred");
-    g.bench_function("predict_update", |b| {
-        let mut p = TournamentPredictor::default();
-        let mut i = 0usize;
-        b.iter(|| {
-            i += 1;
-            let pc = i % 512;
-            let taken = i % 3 == 0;
-            let pred = p.predict(pc);
-            p.update(pc, taken, pred != taken);
-            black_box(pred)
-        });
+fn bench_bpred(b: &Bencher) {
+    let mut p = TournamentPredictor::default();
+    let mut i = 0usize;
+    b.run("bpred", "predict_update", || {
+        i += 1;
+        let pc = i % 512;
+        let taken = i.is_multiple_of(3);
+        let pred = p.predict(pc);
+        p.update(pc, taken, pred != taken);
+        pred
     });
-    g.finish();
 }
 
-fn bench_mshr(c: &mut Criterion) {
-    let mut g = c.benchmark_group("mshr");
-    g.bench_function("alloc_free", |b| {
-        let mut m = MshrFile::new(CoreId(0), 64);
-        b.iter(|| {
-            let t = m
-                .alloc(MshrEntry {
-                    line: LineAddr::new(1),
-                    core: CoreId(0),
-                    epoch: EpochId::zero(),
-                    load: LoadId(0),
-                    is_spec: true,
-                    complete_at: 100,
-                    path: LoadPath::Mem,
-                    wants_l2_fill: true,
-                    state: MshrState::Pending,
-                    record: SefeRecord::default(),
-                    orphan: false,
-                    gen: 0,
-                })
-                .expect("space");
-            m.free(t);
-        });
+fn bench_mshr(b: &Bencher) {
+    let mut m = MshrFile::new(CoreId(0), 64);
+    b.run("mshr", "alloc_free", || {
+        let t = m
+            .alloc(MshrEntry {
+                line: LineAddr::new(1),
+                core: CoreId(0),
+                epoch: EpochId::zero(),
+                load: LoadId(0),
+                is_spec: true,
+                complete_at: 100,
+                path: LoadPath::Mem,
+                wants_l2_fill: true,
+                state: MshrState::Pending,
+                record: SefeRecord::default(),
+                orphan: false,
+                gen: 0,
+            })
+            .expect("space");
+        m.free(t);
     });
-    g.finish();
 }
 
-criterion_group!(benches, bench_cache, bench_ceaser, bench_bpred, bench_mshr);
-criterion_main!(benches);
+fn main() {
+    let b = Bencher::new();
+    bench_cache(&b);
+    bench_ceaser(&b);
+    bench_bpred(&b);
+    bench_mshr(&b);
+}

@@ -1,15 +1,16 @@
-//! Criterion end-to-end benches: scaled-down versions of the paper's
-//! experiment drivers, one group per table/figure, so `cargo bench`
-//! regenerates (small) instances of every result and tracks the
-//! simulator's own performance.
+//! End-to-end benches: scaled-down versions of the paper's experiment
+//! drivers, one group per table/figure, so `cargo bench --bench
+//! experiments` regenerates (small) instances of every result and tracks
+//! the simulator's own performance.
 
 use cleanupspec::modes::SecurityMode;
 use cleanupspec::sim::SimBuilder;
+use cleanupspec_bench::microbench::Bencher;
 use cleanupspec_bench::runner::{run_spec_workload, ExperimentConfig};
 use cleanupspec_workloads::attacks::{run_spectre_v1, spectre_v1_program, SpectreConfig};
+use cleanupspec_workloads::micro::{alu_loop, mispredict_storm};
 use cleanupspec_workloads::sharing::sharing_workload;
 use cleanupspec_workloads::spec::spec_workload;
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn quick() -> ExperimentConfig {
     ExperimentConfig {
@@ -20,9 +21,7 @@ fn quick() -> ExperimentConfig {
 }
 
 /// Figure 12 / Table 6 driver: one workload under each security mode.
-fn bench_modes(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig12_tab06_modes");
-    g.sample_size(10);
+fn bench_modes(b: &Bencher) {
     let w = spec_workload("astar").expect("astar exists");
     for mode in [
         SecurityMode::NonSecure,
@@ -32,17 +31,14 @@ fn bench_modes(c: &mut Criterion) {
         SecurityMode::InvisiSpecRevised,
         SecurityMode::DelaySpeculativeLoads,
     ] {
-        g.bench_with_input(BenchmarkId::from_parameter(mode.name()), &mode, |b, &m| {
-            b.iter(|| black_box(run_spec_workload(&w, m, &quick())))
+        b.run("fig12_tab06_modes", mode.name(), || {
+            run_spec_workload(&w, mode, &quick())
         });
     }
-    g.finish();
 }
 
 /// Table 1 driver: the randomization ablations.
-fn bench_randomization(c: &mut Criterion) {
-    let mut g = c.benchmark_group("tab01_randomization");
-    g.sample_size(10);
+fn bench_randomization(b: &Bencher) {
     let w = spec_workload("soplex").expect("soplex exists");
     for mode in [
         SecurityMode::NonSecure,
@@ -50,104 +46,77 @@ fn bench_randomization(c: &mut Criterion) {
         SecurityMode::L2RandomOnly,
         SecurityMode::BothRandomOnly,
     ] {
-        g.bench_with_input(BenchmarkId::from_parameter(mode.name()), &mode, |b, &m| {
-            b.iter(|| black_box(run_spec_workload(&w, m, &quick())))
+        b.run("tab01_randomization", mode.name(), || {
+            run_spec_workload(&w, mode, &quick())
         });
     }
-    g.finish();
 }
 
 /// Figure 11 driver: one full Spectre-V1 attack + inference round.
-fn bench_spectre(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig11_spectre");
-    g.sample_size(10);
+fn bench_spectre(b: &Bencher) {
     for mode in [SecurityMode::NonSecure, SecurityMode::CleanupSpec] {
-        g.bench_with_input(BenchmarkId::from_parameter(mode.name()), &mode, |b, &m| {
-            b.iter(|| black_box(run_spectre_v1(m, 1, 3)))
-        });
+        b.run("fig11_spectre", mode.name(), || run_spectre_v1(mode, 1, 3));
     }
-    g.finish();
 }
 
 /// Figure 9 driver: a 4-core sharing workload.
-fn bench_sharing(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig09_sharing");
-    g.sample_size(10);
+fn bench_sharing(b: &Bencher) {
     let w = sharing_workload("radiosity").expect("radiosity exists");
-    g.bench_function("radiosity_4core", |b| {
-        b.iter(|| {
-            let mut builder = SimBuilder::new(SecurityMode::NonSecure).seed(4);
-            for p in w.build_all(4, 4) {
-                builder = builder.program(p);
-            }
-            let mut sim = builder.build();
-            sim.run_insts(5_000);
-            black_box(sim.report())
-        })
+    b.run("fig09_sharing", "radiosity_4core", || {
+        let mut builder = SimBuilder::new(SecurityMode::NonSecure).seed(4);
+        for p in w.build_all(4, 4) {
+            builder = builder.program(p);
+        }
+        let mut sim = builder.build();
+        sim.run_insts(5_000);
+        sim.report()
     });
-    g.finish();
 }
 
 /// Figures 13-15 / Table 5 driver: the cleanup engine under a mispredict
 /// storm (ablation: cleanup cost vs squash-free baseline).
-fn bench_cleanup_engine(c: &mut Criterion) {
-    use cleanupspec_workloads::micro::{alu_loop, mispredict_storm};
-    let mut g = c.benchmark_group("fig13_15_cleanup_engine");
-    g.sample_size(10);
-    g.bench_function("storm_cleanupspec", |b| {
-        b.iter(|| {
-            let mut sim = SimBuilder::new(SecurityMode::CleanupSpec)
-                .program(mispredict_storm(2_000, 3, 5))
-                .build();
-            sim.run_to_completion();
-            black_box(sim.report())
-        })
+fn bench_cleanup_engine(b: &Bencher) {
+    b.run("fig13_15_cleanup_engine", "storm_cleanupspec", || {
+        let mut sim = SimBuilder::new(SecurityMode::CleanupSpec)
+            .program(mispredict_storm(2_000, 3, 5))
+            .build();
+        sim.run_to_completion();
+        sim.report()
     });
-    g.bench_function("storm_nonsecure", |b| {
-        b.iter(|| {
-            let mut sim = SimBuilder::new(SecurityMode::NonSecure)
-                .program(mispredict_storm(2_000, 3, 5))
-                .build();
-            sim.run_to_completion();
-            black_box(sim.report())
-        })
+    b.run("fig13_15_cleanup_engine", "storm_nonsecure", || {
+        let mut sim = SimBuilder::new(SecurityMode::NonSecure)
+            .program(mispredict_storm(2_000, 3, 5))
+            .build();
+        sim.run_to_completion();
+        sim.report()
     });
-    g.bench_function("squash_free_cleanupspec", |b| {
-        b.iter(|| {
-            let mut sim = SimBuilder::new(SecurityMode::CleanupSpec)
-                .program(alu_loop(10_000))
-                .build();
-            sim.run_to_completion();
-            black_box(sim.report())
-        })
+    b.run("fig13_15_cleanup_engine", "squash_free_cleanupspec", || {
+        let mut sim = SimBuilder::new(SecurityMode::CleanupSpec)
+            .program(alu_loop(10_000))
+            .build();
+        sim.run_to_completion();
+        sim.report()
     });
-    g.finish();
 }
 
 /// Simulator-throughput bench: simulated instructions per wall-second for
 /// a representative program (tracks the engine's own performance).
-fn bench_sim_throughput(c: &mut Criterion) {
-    let mut g = c.benchmark_group("sim_throughput");
-    g.sample_size(10);
+fn bench_sim_throughput(b: &Bencher) {
     let cfg = SpectreConfig::default();
-    g.bench_function("spectre_program_run", |b| {
-        b.iter(|| {
-            let mut sim = SimBuilder::new(SecurityMode::CleanupSpec)
-                .program(spectre_v1_program(&cfg))
-                .build();
-            black_box(sim.run_to_completion())
-        })
+    b.run("sim_throughput", "spectre_program_run", || {
+        let mut sim = SimBuilder::new(SecurityMode::CleanupSpec)
+            .program(spectre_v1_program(&cfg))
+            .build();
+        sim.run_to_completion()
     });
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_modes,
-    bench_randomization,
-    bench_spectre,
-    bench_sharing,
-    bench_cleanup_engine,
-    bench_sim_throughput
-);
-criterion_main!(benches);
+fn main() {
+    let b = Bencher::new();
+    bench_modes(&b);
+    bench_randomization(&b);
+    bench_spectre(&b);
+    bench_sharing(&b);
+    bench_cleanup_engine(&b);
+    bench_sim_throughput(&b);
+}

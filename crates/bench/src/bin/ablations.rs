@@ -30,16 +30,23 @@ fn main() {
         rows.push(vec![
             mode.name().to_string(),
             slowdown_pct(geomean(&factors)),
-            if mode.defends_install_channel() { "yes" } else { "NO" }.to_string(),
-            if mode.defends_eviction_channel() { "yes" } else { "NO" }.to_string(),
+            if mode.defends_install_channel() {
+                "yes"
+            } else {
+                "NO"
+            }
+            .to_string(),
+            if mode.defends_eviction_channel() {
+                "yes"
+            } else {
+                "NO"
+            }
+            .to_string(),
         ]);
     }
     println!(
         "{}",
-        table(
-            &["mode", "slowdown", "stops F+R", "stops P+P"],
-            &rows
-        )
+        table(&["mode", "slowdown", "stops F+R", "stops P+P"], &rows)
     );
     println!("\nTakeaways: invalidate-only is as fast as full CleanupSpec but");
     println!("leaves Prime+Probe open; delay-on-miss defends both channels at");

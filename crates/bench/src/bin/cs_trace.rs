@@ -1,0 +1,253 @@
+//! `cs-trace` — run a program under a security mode with the event bus
+//! attached, then dump, export, and audit the event stream.
+//!
+//! ```sh
+//! cs-trace programs/spectre_v1.s                      # dump + audit
+//! cs-trace --mode cleanupspec programs/spectre_v1.s --perfetto out.json
+//! cs-trace --mode nonsecure spectre_v1 --jsonl events.jsonl
+//! cs-trace --mode cleanupspec gcc --insts 20000 --filter cleanup
+//! ```
+//!
+//! The positional argument is either a micro-ISA `.s` file (assembled
+//! with `cleanupspec-asm`) or a named workload: a Table-3 SPEC-like
+//! workload (`gcc`, `astar`, ...), `spectre_v1`, `meltdown`, or
+//! `mispredict_storm`.
+
+use cleanupspec::modes::SecurityMode;
+use cleanupspec::sim::SimBuilder;
+use cleanupspec_asm::assemble;
+use cleanupspec_core::isa::Program;
+use cleanupspec_core::system::RunLimits;
+use cleanupspec_obs::{JsonlSink, LeakageAuditSink, PerfettoSink, RingSink, Shared};
+use cleanupspec_workloads::attacks::{
+    meltdown_program, spectre_v1_program, MeltdownConfig, SpectreConfig,
+};
+use cleanupspec_workloads::micro::mispredict_storm;
+use cleanupspec_workloads::spec::spec_workload;
+use std::io::BufWriter;
+use std::process::ExitCode;
+
+struct Args {
+    target: String,
+    mode: SecurityMode,
+    insts: u64,
+    perfetto: Option<String>,
+    jsonl: Option<String>,
+    filter: Option<String>,
+    dump: usize,
+    seed: u64,
+}
+
+fn mode_by_name(name: &str) -> Option<SecurityMode> {
+    SecurityMode::ALL.into_iter().find(|m| m.name() == name)
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: cs-trace [--mode <name>] [--insts N] [--seed N] \
+         [--perfetto FILE] [--jsonl FILE] [--filter SUBSTR] [--dump N] \
+         <file.s | workload>"
+    );
+    eprintln!(
+        "modes: {}",
+        SecurityMode::ALL
+            .iter()
+            .map(|m| m.name())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    eprintln!(
+        "workloads: any Table-3 name (gcc, astar, ...), spectre_v1, meltdown, mispredict_storm"
+    );
+    ExitCode::FAILURE
+}
+
+fn parse_args() -> Result<Args, ExitCode> {
+    let mut args = Args {
+        target: String::new(),
+        mode: SecurityMode::CleanupSpec,
+        insts: 50_000,
+        perfetto: None,
+        jsonl: None,
+        filter: None,
+        dump: 40,
+        seed: 0xC1EA_2019,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--mode" => match it.next().and_then(|m| mode_by_name(m)) {
+                Some(m) => args.mode = m,
+                None => return Err(usage()),
+            },
+            "--insts" => match it.next().and_then(|n| n.parse().ok()) {
+                Some(n) => args.insts = n,
+                None => return Err(usage()),
+            },
+            "--seed" => match it.next().and_then(|n| n.parse().ok()) {
+                Some(n) => args.seed = n,
+                None => return Err(usage()),
+            },
+            "--dump" => match it.next().and_then(|n| n.parse().ok()) {
+                Some(n) => args.dump = n,
+                None => return Err(usage()),
+            },
+            "--perfetto" => match it.next() {
+                Some(f) => args.perfetto = Some(f.clone()),
+                None => return Err(usage()),
+            },
+            "--jsonl" => match it.next() {
+                Some(f) => args.jsonl = Some(f.clone()),
+                None => return Err(usage()),
+            },
+            "--filter" => match it.next() {
+                Some(f) => args.filter = Some(f.clone()),
+                None => return Err(usage()),
+            },
+            f if !f.starts_with('-') && args.target.is_empty() => {
+                args.target = f.to_string();
+            }
+            _ => return Err(usage()),
+        }
+    }
+    if args.target.is_empty() {
+        return Err(usage());
+    }
+    Ok(args)
+}
+
+/// Resolves the positional argument to a program. `.s` paths are
+/// assembled; everything else is looked up as a named workload.
+fn resolve_program(target: &str, seed: u64) -> Result<Program, String> {
+    if target.ends_with(".s") {
+        let src =
+            std::fs::read_to_string(target).map_err(|e| format!("cannot read {target}: {e}"))?;
+        return assemble(target, &src).map_err(|e| format!("{target}:{e}"));
+    }
+    if let Some(w) = spec_workload(target) {
+        return Ok(w.build(seed ^ cleanupspec_mem::rng::mix_str(w.name)));
+    }
+    match target {
+        "spectre_v1" => Ok(spectre_v1_program(&SpectreConfig::default())),
+        "meltdown" => Ok(meltdown_program(&MeltdownConfig::default())),
+        "mispredict_storm" => Ok(mispredict_storm(2_000, 3, seed)),
+        _ => Err(format!("unknown workload or file: {target}")),
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => return e,
+    };
+    let program = match resolve_program(&args.target, args.seed) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("cs-trace: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // Sinks: ring (dump) + audit always; Perfetto/JSONL when requested.
+    let ring = Shared::new(RingSink::new(100_000));
+    let audit = Shared::new(LeakageAuditSink::new());
+    let perfetto = args
+        .perfetto
+        .as_ref()
+        .map(|_| Shared::new(PerfettoSink::new()));
+    let mut builder = SimBuilder::new(args.mode)
+        .program(program)
+        .seed(args.seed)
+        .sink(Box::new(ring.clone()))
+        .sink(Box::new(audit.clone()));
+    if let Some(p) = &perfetto {
+        builder = builder.sink(Box::new(p.clone()));
+    }
+    let mut jsonl_err = false;
+    if let Some(path) = &args.jsonl {
+        match std::fs::File::create(path) {
+            Ok(f) => {
+                builder = builder.sink(Box::new(JsonlSink::new(BufWriter::new(f))));
+            }
+            Err(e) => {
+                eprintln!("cs-trace: cannot create {path}: {e}");
+                jsonl_err = true;
+            }
+        }
+    }
+    if jsonl_err {
+        return ExitCode::FAILURE;
+    }
+
+    let mut sim = builder.build();
+    sim.run(RunLimits {
+        max_cycles: 100_000_000,
+        max_insts_per_core: args.insts,
+    });
+    // Let in-flight fills land: insecure modes leak precisely via fills
+    // completing after a squash, and the audit must see them.
+    sim.drain(2_000);
+    sim.finish_observer();
+
+    let r = sim.report();
+    println!("mode       : {}", args.mode.name());
+    println!("cycles     : {}", r.cycles);
+    println!("insts      : {}  (IPC {:.3})", r.total_insts(), r.ipc());
+    println!(
+        "squashes   : {}  cleanup: {} invals, {} restores, {} dropped fills",
+        r.cores[0].squashes, r.mem.cleanup_invals, r.mem.cleanup_restores, r.mem.dropped_fills
+    );
+    println!("events     : {}", ring.with(|s| s.total_recorded()));
+
+    if let Some(path) = &args.perfetto {
+        let p = perfetto.expect("sink exists when path given");
+        let json = p.with(|s| s.render());
+        if let Err(e) = std::fs::write(path, &json) {
+            eprintln!("cs-trace: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "perfetto   : {path} ({} events, {} bytes)",
+            p.with(|s| s.len()),
+            json.len()
+        );
+    }
+    if let Some(path) = &args.jsonl {
+        println!("jsonl      : {path}");
+    }
+
+    if args.dump > 0 {
+        println!(
+            "--- last {} events{} ---",
+            args.dump,
+            match &args.filter {
+                Some(f) => format!(" matching \"{f}\""),
+                None => String::new(),
+            }
+        );
+        let records = ring.with(|s| s.to_vec());
+        let matching: Vec<_> = records
+            .iter()
+            .filter(|r| match &args.filter {
+                Some(f) => {
+                    r.event.kind().contains(f.as_str())
+                        || r.event.layer().as_str().contains(f.as_str())
+                }
+                None => true,
+            })
+            .copied()
+            .collect();
+        for r in matching.iter().rev().take(args.dump).rev() {
+            println!("c{:>8} {}", r.cycle, r.event);
+        }
+    }
+
+    let verdict = audit.with(|a| a.report());
+    println!("{verdict}");
+    if args.mode == SecurityMode::CleanupSpec && !verdict.clean() {
+        eprintln!("cs-trace: cleanupspec run left speculative residue");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

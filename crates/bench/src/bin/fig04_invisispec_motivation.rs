@@ -42,12 +42,24 @@ fn main() {
     println!(
         "{}",
         table(
-            &["workload", "norm.time", "norm.traffic", "spec-load%", "update-load%"],
+            &[
+                "workload",
+                "norm.time",
+                "norm.traffic",
+                "spec-load%",
+                "update-load%"
+            ],
             &rows
         )
     );
-    println!("\nInvisiSpec (initial estimate) slowdown: {}", slowdown_pct(gs));
-    println!("network traffic vs baseline:            {}", slowdown_pct(gt));
+    println!(
+        "\nInvisiSpec (initial estimate) slowdown: {}",
+        slowdown_pct(gs)
+    );
+    println!(
+        "network traffic vs baseline:            {}",
+        slowdown_pct(gt)
+    );
     println!("\npaper: 67.5% average slowdown, +51% network traffic; about");
     println!("half of all traffic is due to invisible + update loads.");
 }

@@ -23,7 +23,7 @@ fn main() {
             .map(|w| {
                 s.spawn(move || {
                     let mut b = SimBuilder::new(SecurityMode::NonSecure);
-                    for p in w.build_all(cores, 0xF19_9) {
+                    for p in w.build_all(cores, 0xF199) {
                         b = b.program(p);
                     }
                     let mut sim = b.build();
@@ -40,7 +40,10 @@ fn main() {
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("worker")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker"))
+            .collect()
     });
     let mut rows = Vec::new();
     let mut sum_unsafe = 0.0;

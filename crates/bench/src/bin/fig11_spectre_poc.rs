@@ -42,8 +42,16 @@ fn main() {
         table(&["index", "non-secure(cyc)", "cleanupspec(cyc)", ""], &rows)
     );
     println!();
-    println!("non-secure : fast indices {:?} -> leaked = {}", ns.fast_indices, ns.leaked());
-    println!("cleanupspec: fast indices {:?} -> leaked = {}", cs.fast_indices, cs.leaked());
+    println!(
+        "non-secure : fast indices {:?} -> leaked = {}",
+        ns.fast_indices,
+        ns.leaked()
+    );
+    println!(
+        "cleanupspec: fast indices {:?} -> leaked = {}",
+        cs.fast_indices,
+        cs.leaked()
+    );
     let chart = LineChart {
         title: "Figure 11: Spectre V1 secret-inference reload latency".into(),
         x_label: "array2 index (in multiples of 512)".into(),

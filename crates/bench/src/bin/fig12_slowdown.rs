@@ -4,8 +4,8 @@
 
 use cleanupspec::modes::SecurityMode;
 use cleanupspec_bench::fmt::{bar, geomean, slowdown_pct, table};
-use cleanupspec_bench::svg::{maybe_write, Bar, BarChart};
 use cleanupspec_bench::runner::{run_all_spec, ExperimentConfig};
+use cleanupspec_bench::svg::{maybe_write, Bar, BarChart};
 
 fn main() {
     let cfg = ExperimentConfig::default();

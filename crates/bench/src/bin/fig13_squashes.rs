@@ -33,7 +33,10 @@ fn main() {
     ]);
     println!(
         "{}",
-        table(&["workload", "squash-events/kinst", "squashed-insts/kinst"], &rows)
+        table(
+            &["workload", "squash-events/kinst", "squashed-insts/kinst"],
+            &rows
+        )
     );
     println!();
     for (w, r) in &results {

@@ -36,7 +36,10 @@ fn main() {
     ]);
     println!(
         "{}",
-        table(&["workload", "inflight", "executed", "inflight-share"], &rows)
+        table(
+            &["workload", "inflight", "executed", "inflight-share"],
+            &rows
+        )
     );
     println!("\npaper: ~50% of squashed L1-misses are still inflight — those");
     println!("need only a dropped response, no invalidation or restoration.");

@@ -32,7 +32,10 @@ fn main() {
     }
     println!(
         "{}",
-        table(&["mode", "secret", "secret reload (cyc)", "handler ran"], &rows)
+        table(
+            &["mode", "secret", "secret reload (cyc)", "handler ran"],
+            &rows
+        )
     );
     println!("\nThe transient dependents of the faulting load execute in the");
     println!("window before the deferred permission check raises; only their");

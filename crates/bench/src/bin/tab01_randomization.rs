@@ -26,15 +26,14 @@ fn main() {
             .map(|((_, b), (_, r))| r.slowdown_vs(b))
             .collect();
         let g = geomean(&factors);
-        rows.push(vec![
-            label.to_string(),
-            slowdown_pct(g),
-            paper.to_string(),
-        ]);
+        rows.push(vec![label.to_string(), slowdown_pct(g), paper.to_string()]);
     }
     println!(
         "{}",
-        table(&["configuration", "slowdown(meas)", "slowdown(paper)"], &rows)
+        table(
+            &["configuration", "slowdown(meas)", "slowdown(paper)"],
+            &rows
+        )
     );
     println!("\npaper: randomization is nearly free — random L1 replacement");
     println!("adds misses that the L2 absorbs, and CEASER costs 2 cycles of");

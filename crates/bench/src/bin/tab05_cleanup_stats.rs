@@ -29,7 +29,15 @@ fn main() {
     println!(
         "{}",
         table(
-            &["workload", "squashPKI", "loads/squash", "NI", "L1H", "L2H", "L2M"],
+            &[
+                "workload",
+                "squashPKI",
+                "loads/squash",
+                "NI",
+                "L1H",
+                "L2H",
+                "L2M"
+            ],
             &rows
         )
     );

@@ -35,7 +35,10 @@ fn main() {
     }
     println!(
         "{}",
-        table(&["configuration", "slowdown(meas)", "slowdown(paper)"], &rows)
+        table(
+            &["configuration", "slowdown(meas)", "slowdown(paper)"],
+            &rows
+        )
     );
     println!("\npaper ordering: InvisiSpec-initial >> InvisiSpec-revised >");
     println!("CleanupSpec; the Redo approach pays on every correct-path load,");

@@ -54,7 +54,14 @@ fn main() {
     println!(
         "{}",
         table(
-            &["configuration", "LQ B", "L1-MSHR B", "L2-MSHR B", "total B", "<1KB?"],
+            &[
+                "configuration",
+                "LQ B",
+                "L1-MSHR B",
+                "L2-MSHR B",
+                "total B",
+                "<1KB?"
+            ],
             &rows
         )
     );

@@ -38,7 +38,9 @@ pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
 pub fn bar(label: &str, value: f64, max: f64) -> String {
     let cols = 40usize;
     let filled = if max > 0.0 {
-        ((value / max) * cols as f64).round().clamp(0.0, cols as f64) as usize
+        ((value / max) * cols as f64)
+            .round()
+            .clamp(0.0, cols as f64) as usize
     } else {
         0
     };

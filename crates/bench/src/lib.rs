@@ -1,14 +1,16 @@
 //! # cleanupspec-bench
 //!
 //! Experiment harness for the CleanupSpec reproduction: one binary per
-//! table/figure of the paper (see `src/bin/`), plus Criterion
+//! table/figure of the paper (see `src/bin/`), plus wall-clock
 //! microbenchmarks (see `benches/`). This library holds the shared
-//! experiment runner and plain-text table/chart formatting.
+//! experiment runner, the micro-benchmark harness, and plain-text
+//! table/chart formatting.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod fmt;
+pub mod microbench;
 pub mod runner;
 pub mod svg;
 

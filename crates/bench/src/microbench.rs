@@ -1,0 +1,103 @@
+//! A minimal wall-clock micro-benchmark harness (stand-in for Criterion,
+//! which cannot be fetched in an offline build).
+//!
+//! Each benchmark auto-calibrates its iteration count to a small time
+//! budget and prints one `group/name  median ns/iter` line. `harness =
+//! false` bench targets call [`Bencher::run`] from a plain `main`.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Per-process benchmark driver: owns the time budget and output format.
+pub struct Bencher {
+    /// Target measuring time per benchmark.
+    budget: Duration,
+    /// Optional substring filter (first CLI argument, Criterion-style).
+    filter: Option<String>,
+}
+
+impl Default for Bencher {
+    fn default() -> Self {
+        Bencher::new()
+    }
+}
+
+impl Bencher {
+    /// A bencher with a ~120 ms per-benchmark budget and the process's
+    /// first CLI argument as a name filter.
+    pub fn new() -> Self {
+        Bencher {
+            budget: Duration::from_millis(120),
+            filter: std::env::args().nth(1),
+        }
+    }
+
+    /// Runs one benchmark: calibrates an iteration count to the budget,
+    /// takes 5 samples, and prints the median time per iteration. The
+    /// closure's result is passed through [`black_box`] so the computation
+    /// cannot be optimized away.
+    pub fn run<R>(&self, group: &str, name: &str, mut f: impl FnMut() -> R) {
+        let full = format!("{group}/{name}");
+        if let Some(fil) = &self.filter {
+            if !full.contains(fil.as_str()) {
+                return;
+            }
+        }
+        // Calibrate: double iterations until one batch costs >= budget/10.
+        let mut iters: u64 = 1;
+        loop {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let elapsed = t.elapsed();
+            if elapsed * 10 >= self.budget || iters >= 1 << 30 {
+                break;
+            }
+            iters = (iters * 2).max(1);
+        }
+        // Sample.
+        let mut samples: Vec<f64> = (0..5)
+            .map(|_| {
+                let t = Instant::now();
+                for _ in 0..iters {
+                    black_box(f());
+                }
+                t.elapsed().as_nanos() as f64 / iters as f64
+            })
+            .collect();
+        samples.sort_by(|a, b| a.total_cmp(b));
+        let median = samples[samples.len() / 2];
+        println!("{full:<44} {median:>12.1} ns/iter  (x{iters})");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_measures_and_prints() {
+        let b = Bencher {
+            budget: Duration::from_millis(2),
+            filter: None,
+        };
+        let mut n = 0u64;
+        b.run("test", "counting", || {
+            n = n.wrapping_add(1);
+            n
+        });
+        assert!(n > 0, "closure must have been executed");
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let b = Bencher {
+            budget: Duration::from_millis(2),
+            filter: Some("nomatch".into()),
+        };
+        let mut ran = false;
+        b.run("test", "skipped", || ran = true);
+        assert!(!ran);
+    }
+}

@@ -51,7 +51,9 @@ pub fn run_spec_workload(
     mode: SecurityMode,
     cfg: &ExperimentConfig,
 ) -> SimReport {
-    let program = w.build(cfg.seed ^ cleanupspec_mem::rng::mix64(w.name.as_bytes()[0] as u64));
+    // Mix the FULL workload name into the seed: hashing only the first
+    // byte made e.g. "gcc" and "gap" share a program-generation stream.
+    let program = w.build(cfg.seed ^ cleanupspec_mem::rng::mix_str(w.name));
     let mut sim = SimBuilder::new(mode)
         .program(program)
         .seed(cfg.seed)
@@ -95,7 +97,9 @@ pub fn run_selected_spec(
             }
         }
     });
-    out.into_iter().map(|o| o.expect("all slots filled")).collect()
+    out.into_iter()
+        .map(|o| o.expect("all slots filled"))
+        .collect()
 }
 
 /// Runs every workload under several modes; returns `results[mode][wl]`.
@@ -103,10 +107,7 @@ pub fn run_matrix(
     modes: &[SecurityMode],
     cfg: &ExperimentConfig,
 ) -> Vec<(SecurityMode, Vec<(SpecWorkload, SimReport)>)> {
-    modes
-        .iter()
-        .map(|m| (*m, run_all_spec(*m, cfg)))
-        .collect()
+    modes.iter().map(|m| (*m, run_all_spec(*m, cfg))).collect()
 }
 
 #[cfg(test)]

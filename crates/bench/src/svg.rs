@@ -15,7 +15,9 @@ const MARGIN_T: f64 = 40.0;
 const MARGIN_B: f64 = 90.0;
 
 fn esc(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 fn header(title: &str) -> String {

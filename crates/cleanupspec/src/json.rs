@@ -1,6 +1,9 @@
 //! JSON serialization of [`SimReport`] (hand-rolled: the report is a flat
 //! tree of numbers, so a dependency-free writer keeps the build light).
 //!
+//! The writer itself lives in `cleanupspec-obs` (the event sinks need it
+//! too); this module re-exports it and layers the report schema on top.
+//!
 //! ```
 //! use cleanupspec::prelude::*;
 //! use cleanupspec::json::report_to_json;
@@ -17,110 +20,8 @@
 
 use crate::sim::SimReport;
 use cleanupspec_mem::stats::MsgClass;
-use std::fmt::Write as _;
-
-/// A minimal JSON value writer.
-#[derive(Debug, Default)]
-pub struct JsonWriter {
-    out: String,
-    stack: Vec<bool>, // per open object/array: "has at least one element"
-}
-
-impl JsonWriter {
-    /// Creates an empty writer.
-    pub fn new() -> Self {
-        JsonWriter::default()
-    }
-
-    fn comma(&mut self) {
-        if let Some(has) = self.stack.last_mut() {
-            if *has {
-                self.out.push_str(", ");
-            }
-            *has = true;
-        }
-    }
-
-    /// Opens an object (optionally as the value of `key`).
-    pub fn open_object(&mut self, key: Option<&str>) -> &mut Self {
-        self.comma();
-        if let Some(k) = key {
-            let _ = write!(self.out, "\"{}\": ", escape(k));
-        }
-        self.out.push('{');
-        self.stack.push(false);
-        self
-    }
-
-    /// Closes the innermost object.
-    pub fn close_object(&mut self) -> &mut Self {
-        self.stack.pop();
-        self.out.push('}');
-        self
-    }
-
-    /// Opens an array as the value of `key`.
-    pub fn open_array(&mut self, key: &str) -> &mut Self {
-        self.comma();
-        let _ = write!(self.out, "\"{}\": [", escape(key));
-        self.stack.push(false);
-        self
-    }
-
-    /// Closes the innermost array.
-    pub fn close_array(&mut self) -> &mut Self {
-        self.stack.pop();
-        self.out.push(']');
-        self
-    }
-
-    /// Writes a string field.
-    pub fn string(&mut self, key: &str, value: &str) -> &mut Self {
-        self.comma();
-        let _ = write!(self.out, "\"{}\": \"{}\"", escape(key), escape(value));
-        self
-    }
-
-    /// Writes an integer field.
-    pub fn int(&mut self, key: &str, value: u64) -> &mut Self {
-        self.comma();
-        let _ = write!(self.out, "\"{}\": {value}", escape(key));
-        self
-    }
-
-    /// Writes a float field (NaN/inf become null).
-    pub fn float(&mut self, key: &str, value: f64) -> &mut Self {
-        self.comma();
-        if value.is_finite() {
-            let _ = write!(self.out, "\"{}\": {value:.6}", escape(key));
-        } else {
-            let _ = write!(self.out, "\"{}\": null", escape(key));
-        }
-        self
-    }
-
-    /// Finishes and returns the JSON text.
-    pub fn finish(self) -> String {
-        debug_assert!(self.stack.is_empty(), "unbalanced open/close");
-        self.out
-    }
-}
-
-fn escape(s: &str) -> String {
-    let mut o = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => o.push_str("\\\""),
-            '\\' => o.push_str("\\\\"),
-            '\n' => o.push_str("\\n"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(o, "\\u{:04x}", c as u32);
-            }
-            c => o.push(c),
-        }
-    }
-    o
-}
+pub use cleanupspec_obs::JsonWriter;
+use cleanupspec_obs::PathKind;
 
 /// Serializes a [`SimReport`] to a JSON object string.
 pub fn report_to_json(r: &SimReport) -> String {
@@ -146,6 +47,13 @@ pub fn report_to_json(r: &SimReport) -> String {
         .int("cleanup_restores", r.mem.cleanup_restores)
         .float("l1_miss_rate", r.mem.l1_miss_rate())
         .close_object();
+    w.open_object(Some("latency"));
+    for path in PathKind::ALL {
+        r.mem.load_latency[path.index()].write_json(&mut w, path.as_str());
+    }
+    w.close_object();
+    r.mem.mshr_occupancy.write_json(&mut w, "mshr_occupancy");
+    r.mem.sefe_occupancy.write_json(&mut w, "sefe_occupancy");
     w.open_object(Some("traffic"));
     for class in MsgClass::ALL {
         w.int(&class.to_string(), r.traffic.get(class));
@@ -172,8 +80,9 @@ pub fn report_to_json(r: &SimReport) -> String {
             .int("faults", c.faults)
             .float("ipc", c.ipc())
             .float("mispredict_rate", c.mispredict_rate())
-            .float("squash_pki", c.squash_pki())
-            .close_object();
+            .float("squash_pki", c.squash_pki());
+        c.cleanup_duration.write_json(&mut w, "cleanup_duration");
+        w.close_object();
     }
     w.close_array().close_object();
     w.finish()
@@ -229,6 +138,10 @@ mod tests {
             "\"mode\"",
             "\"cycles\"",
             "\"mem\"",
+            "\"latency\"",
+            "\"mshr_occupancy\"",
+            "\"sefe_occupancy\"",
+            "\"cleanup_duration\"",
             "\"traffic\"",
             "\"cores\"",
             "\"l1_miss_rate\"",
@@ -236,6 +149,27 @@ mod tests {
         ] {
             assert!(j.contains(key), "missing {key} in {j}");
         }
+    }
+
+    #[test]
+    fn latency_section_covers_every_path() {
+        let j = report_to_json(&sample_report());
+        for path in cleanupspec_obs::PathKind::ALL {
+            assert!(
+                j.contains(&format!("\"{}\"", path.as_str())),
+                "missing path {} in {j}",
+                path.as_str()
+            );
+        }
+    }
+
+    #[test]
+    fn latency_histogram_counts_loads() {
+        // The sample program performs one demand load; it must appear in
+        // exactly one of the per-path latency histograms.
+        let r = sample_report();
+        let recorded: u64 = r.mem.load_latency.iter().map(|h| h.count()).sum();
+        assert!(recorded >= 1, "no load latency recorded");
     }
 
     #[test]

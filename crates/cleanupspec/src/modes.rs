@@ -237,7 +237,10 @@ mod tests {
             let s = m.build_scheme();
             assert!(!s.name().is_empty());
         }
-        assert_eq!(SecurityMode::CleanupSpec.build_scheme().name(), "cleanupspec");
+        assert_eq!(
+            SecurityMode::CleanupSpec.build_scheme().name(),
+            "cleanupspec"
+        );
     }
 
     #[test]

@@ -35,6 +35,10 @@ pub struct CleanupStats {
     pub restores: u64,
     /// Inflight loads dropped by epoch bump.
     pub dropped_inflight: u64,
+    /// Squashed-inflight loads whose fill landed during the cleanup's
+    /// wait for older correct-path loads; their installs are undone like
+    /// executed loads.
+    pub raced_fill_undos: u64,
     /// Squashes that required no cleanup operation at all.
     pub free_squashes: u64,
 }
@@ -122,10 +126,7 @@ impl SpeculationScheme for NonSecure {
         // Inflight wrong-path fills still land (orphaned): this is the
         // behaviour the attacks exploit.
         for l in info.loads {
-            if let SquashedLoadState::Inflight {
-                token: Some(t), ..
-            } = l.state
-            {
+            if let SquashedLoadState::Inflight { token: Some(t), .. } = l.state {
                 mem.orphan_token(t);
             }
         }
@@ -180,13 +181,33 @@ impl CleanupSpec {
         // Drop inflight squashed loads: epoch bump + MSHR drop. Thanks to
         // the wait-for-older-inflight rule, every pending entry of this
         // core belongs to a squashed load.
-        let has_inflight = info.loads.iter().any(|l| {
-            matches!(l.state, SquashedLoadState::Inflight { .. })
-        });
-        let any_issued = info.loads.iter().any(|l| {
-            !matches!(l.state, SquashedLoadState::NotIssued)
-        });
+        let has_inflight = info
+            .loads
+            .iter()
+            .any(|l| matches!(l.state, SquashedLoadState::Inflight { .. }));
+        let any_issued = info
+            .loads
+            .iter()
+            .any(|l| !matches!(l.state, SquashedLoadState::NotIssued));
         let mut ops: u64 = 0;
+        // Fills that raced the deferred cleanup: the load was still
+        // inflight when the squash was recorded, but its response landed —
+        // and installed — while cleanup waited for older correct-path
+        // loads. Collect their SEFEs (freeing the stuck MSHR entries) and
+        // undo the installs like executed loads. They completed after
+        // every executed load, so they unwind first.
+        let mut raced: Vec<_> = info
+            .loads
+            .iter()
+            .filter_map(|l| match l.state {
+                SquashedLoadState::Inflight { token: Some(t), .. } => mem
+                    .collect(t)
+                    .and_then(|sefe| l.line.map(|line| (line, sefe))),
+                _ => None,
+            })
+            .collect();
+        self.stats.raced_fill_undos += raced.len() as u64;
+        raced.reverse(); // `loads` is oldest-first; unwind newest-first
         if has_inflight {
             self.stats.dropped_inflight += mem.drop_core_inflight(info.core) as u64;
         }
@@ -202,8 +223,11 @@ impl CleanupSpec {
                 _ => None,
             })
             .collect();
-        executed.sort_by(|a, b| b.0.cmp(&a.0));
-        for (_, line, sefe) in executed {
+        executed.sort_by_key(|e| std::cmp::Reverse(e.0));
+        for (line, sefe) in raced
+            .into_iter()
+            .chain(executed.into_iter().map(|(_, line, sefe)| (line, sefe)))
+        {
             if sefe.l1_fill || sefe.l2_fill {
                 mem.cleanup_invalidate(info.core, line, sefe.l1_fill, sefe.l2_fill);
                 self.stats.invalidates += 1;
@@ -503,10 +527,7 @@ impl SpeculationScheme for InvisiSpec {
     ) -> CommitAction {
         // Forwarded loads and loads issued non-speculatively need no redo;
         // the revised variant already exposed at the visibility point.
-        if self.variant == InvisiSpecVariant::Revised
-            || !load.issued_spec
-            || load.path.is_none()
-        {
+        if self.variant == InvisiSpecVariant::Revised || !load.issued_spec || load.path.is_none() {
             return CommitAction::Proceed;
         }
         // Initial estimate: the update load runs at commit, on the critical
@@ -653,7 +674,12 @@ mod tests {
         MemHierarchy::new(MemConfig::default())
     }
 
-    fn issue(s: &mut dyn SpeculationScheme, m: &mut MemHierarchy, line: u64, now: Cycle) -> LoadOutcome {
+    fn issue(
+        s: &mut dyn SpeculationScheme,
+        m: &mut MemHierarchy,
+        line: u64,
+        now: Cycle,
+    ) -> LoadOutcome {
         s.issue_load(
             m,
             LoadIssue {
@@ -734,6 +760,49 @@ mod tests {
         m.advance(out.complete_at + 10);
         assert_eq!(m.l2_snapshot(), before, "dropped fill left no trace");
         assert_eq!(s.stats().dropped_inflight, 1);
+    }
+
+    #[test]
+    fn cleanupspec_undoes_fill_that_raced_the_deferred_cleanup() {
+        // The load is inflight at squash time, but its fill lands while
+        // cleanup waits for older correct-path loads (advance past
+        // complete_at before on_squash). The install must still be
+        // undone and the MSHR entry freed.
+        let mut m = mem();
+        let mut s = CleanupSpec::new();
+        let before_l1 = m.l1_snapshot(CoreId(0));
+        let before_l2 = m.l2_snapshot();
+        let out = issue(&mut s, &mut m, 0x4242, 0);
+        m.advance(out.complete_at + 1); // fill lands: entry now Filled
+        assert!(
+            m.l1(CoreId(0)).probe(LineAddr::new(0x4242)).is_some(),
+            "precondition: the raced fill installed"
+        );
+        let loads = [cleanupspec_core::scheme::SquashedLoad {
+            line: Some(LineAddr::new(0x4242)),
+            load_id: None,
+            state: SquashedLoadState::Inflight {
+                path: out.path,
+                token: out.token,
+            },
+        }];
+        s.on_squash(
+            &mut m,
+            SquashInfo {
+                core: CoreId(0),
+                mispredict_at: 1,
+                now: out.complete_at + 5,
+                loads: &loads,
+            },
+        );
+        assert_eq!(m.l1_snapshot(CoreId(0)), before_l1);
+        assert_eq!(m.l2_snapshot(), before_l2);
+        assert_eq!(s.stats().raced_fill_undos, 1);
+        assert!(
+            m.collect(out.token.unwrap()).is_none(),
+            "the stuck MSHR entry was freed by the cleanup"
+        );
+        m.check_invariants().unwrap();
     }
 
     #[test]

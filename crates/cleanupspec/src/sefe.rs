@@ -54,7 +54,10 @@ impl SefeLayout {
 
     /// Total bits per entry.
     pub fn bits(&self) -> u32 {
-        self.is_spec_bits + self.epoch_bits + self.load_id_bits + self.fill_bits
+        self.is_spec_bits
+            + self.epoch_bits
+            + self.load_id_bits
+            + self.fill_bits
             + self.evict_addr_bits
     }
 

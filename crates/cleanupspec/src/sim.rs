@@ -14,6 +14,8 @@ use cleanupspec_core::system::{RunLimits, StopReason, System};
 use cleanupspec_mem::hierarchy::{LoadReq, MemConfig, MemHierarchy};
 use cleanupspec_mem::stats::{MemStats, MsgClass, Traffic};
 use cleanupspec_mem::types::{Addr, CoreId, Cycle, LoadId};
+use cleanupspec_obs::{EventSink, Observer};
+use std::fmt;
 use std::sync::Arc;
 
 /// Builder for a [`Simulator`].
@@ -33,12 +35,24 @@ use std::sync::Arc;
 /// sim.run_to_completion();
 /// assert!(sim.report().cycles > 0);
 /// ```
-#[derive(Debug)]
 pub struct SimBuilder {
     mode: SecurityMode,
     mem_cfg: MemConfig,
     core_cfg: CoreConfig,
     programs: Vec<Arc<Program>>,
+    sinks: Vec<Box<dyn EventSink>>,
+}
+
+impl fmt::Debug for SimBuilder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SimBuilder")
+            .field("mode", &self.mode)
+            .field("mem_cfg", &self.mem_cfg)
+            .field("core_cfg", &self.core_cfg)
+            .field("programs", &self.programs.len())
+            .field("sinks", &self.sinks.len())
+            .finish()
+    }
 }
 
 impl SimBuilder {
@@ -49,7 +63,19 @@ impl SimBuilder {
             mem_cfg: MemConfig::default(),
             core_cfg: CoreConfig::default(),
             programs: Vec::new(),
+            sinks: Vec::new(),
         }
+    }
+
+    /// Attaches an event sink; every simulation layer (pipeline, caches,
+    /// MSHRs, cleanup engine, DRAM) will emit [`cleanupspec_obs::SimEvent`]s
+    /// into it. Call repeatedly to fan out to several sinks. Wrap a sink in
+    /// [`cleanupspec_obs::Shared`] first if you need to read it back after
+    /// the run.
+    #[must_use]
+    pub fn sink(mut self, sink: Box<dyn EventSink>) -> Self {
+        self.sinks.push(sink);
+        self
     }
 
     /// Adds a core running `program`.
@@ -102,10 +128,15 @@ impl SimBuilder {
             .iter()
             .map(|_| self.mode.build_scheme())
             .collect();
-        let sys = System::new(mem, self.core_cfg, schemes, self.programs);
+        let mut sys = System::new(mem, self.core_cfg, schemes, self.programs);
+        let obs = Observer::new(self.sinks);
+        if obs.is_enabled() {
+            sys.set_observer(obs.clone());
+        }
         Simulator {
             sys,
             mode: self.mode,
+            obs,
             probe_seq: 0,
             measure_base: 0,
         }
@@ -117,6 +148,7 @@ impl SimBuilder {
 pub struct Simulator {
     sys: System,
     mode: SecurityMode,
+    obs: Observer,
     probe_seq: u64,
     measure_base: Cycle,
 }
@@ -125,6 +157,18 @@ impl Simulator {
     /// The active security mode.
     pub fn mode(&self) -> SecurityMode {
         self.mode
+    }
+
+    /// The event-bus observer (disabled unless sinks were attached via
+    /// [`SimBuilder::sink`]).
+    pub fn observer(&self) -> &Observer {
+        &self.obs
+    }
+
+    /// Flushes every attached sink ([`EventSink::finish`]). Call once after
+    /// the final run, before reading results out of shared sinks.
+    pub fn finish_observer(&self) {
+        self.obs.finish();
     }
 
     /// Runs with explicit limits.
@@ -193,11 +237,12 @@ impl Simulator {
         let start = self.sys.now();
         let out = loop {
             let now = self.sys.now();
-            match self
-                .sys
-                .mem_mut()
-                .load(core, line, now, LoadReq::non_spec(LoadId(self.probe_seq)))
-            {
+            match self.sys.mem_mut().load(
+                core,
+                line,
+                now,
+                LoadReq::non_spec(LoadId(self.probe_seq)),
+            ) {
                 Ok(out) => break out,
                 Err(_) => self.sys.tick_mem_only(), // MSHRs busy: wait
             }
@@ -233,8 +278,7 @@ impl Simulator {
     /// Produces the aggregate report.
     pub fn report(&self) -> SimReport {
         let n = self.sys.mem().config().num_cores;
-        let mut cores: Vec<CoreStats> =
-            (0..n).map(|i| self.sys.core_stats(i).clone()).collect();
+        let mut cores: Vec<CoreStats> = (0..n).map(|i| self.sys.core_stats(i).clone()).collect();
         let cycles = self.sys.now() - self.measure_base;
         for c in &mut cores {
             c.cycles = cycles;

@@ -480,7 +480,14 @@ mod tests {
         let skip = b.here();
         b.patch_branch(br, skip);
         let p = b.build();
-        assert_eq!(p.fetch(br), Inst::Branch { src: Reg(1), cond: BranchCond::Zero, target: skip });
+        assert_eq!(
+            p.fetch(br),
+            Inst::Branch {
+                src: Reg(1),
+                cond: BranchCond::Zero,
+                target: skip
+            }
+        );
         assert_eq!(p.len(), 2);
         assert!(!p.is_empty());
     }
@@ -488,8 +495,17 @@ mod tests {
     #[test]
     fn classification_helpers() {
         assert!(Inst::Ret.is_control());
-        assert!(Inst::Load { dst: Reg(1), base: Reg(2), offset: 0 }.is_load());
-        assert!(Inst::Clflush { base: Reg(1), offset: 0 }.is_store_like());
+        assert!(Inst::Load {
+            dst: Reg(1),
+            base: Reg(2),
+            offset: 0
+        }
+        .is_load());
+        assert!(Inst::Clflush {
+            base: Reg(1),
+            offset: 0
+        }
+        .is_store_like());
         assert!(!Inst::Nop.is_control());
     }
 }

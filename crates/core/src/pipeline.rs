@@ -23,6 +23,7 @@ use cleanupspec_mem::hierarchy::MemHierarchy;
 use cleanupspec_mem::mshr::{LoadPath, MshrToken, SefeRecord};
 use cleanupspec_mem::stats::MsgClass;
 use cleanupspec_mem::types::{Addr, CoreId, Cycle, LineAddr, LoadId};
+use cleanupspec_obs::{Observer, PathKind, SimEvent};
 use std::collections::VecDeque;
 use std::sync::Arc;
 
@@ -120,7 +121,9 @@ struct RobEntry {
 enum LqState {
     NotIssued,
     /// GetS-Safe refusal: waiting to become unsquashable (Section 3.5).
-    Deferred { line: LineAddr },
+    Deferred {
+        line: LineAddr,
+    },
     Inflight {
         line: LineAddr,
         token: Option<MshrToken>,
@@ -192,6 +195,7 @@ pub struct Pipeline {
     load_id_ctr: u64,
     stats: CoreStats,
     trace: Option<TraceBuffer>,
+    obs: Observer,
 }
 
 impl Pipeline {
@@ -219,10 +223,17 @@ impl Pipeline {
             load_id_ctr: 0,
             stats: CoreStats::default(),
             trace: None,
+            obs: Observer::disabled(),
             core,
             cfg,
             program,
         }
+    }
+
+    /// Attaches the event-bus observer (structured [`SimEvent`]s; the
+    /// legacy [`TraceBuffer`] keeps working independently).
+    pub fn set_observer(&mut self, obs: Observer) {
+        self.obs = obs;
     }
 
     /// Core identifier.
@@ -329,9 +340,7 @@ impl Pipeline {
                             ..
                         } = lqe.state
                         {
-                            let sefe = token
-                                .and_then(|t| mem.collect(t))
-                                .unwrap_or_default();
+                            let sefe = token.and_then(|t| mem.collect(t)).unwrap_or_default();
                             self.load_id_ctr += 1;
                             self.lq[li] = Some(LqEntry {
                                 seq,
@@ -460,7 +469,22 @@ impl Pipeline {
             let before = self.stats.squashed_insts;
             let new_loads = self.squash_younger(branch_seq);
             let n = self.stats.squashed_insts - before;
-            self.emit(now, TraceEvent::Squash { seq: branch_seq, squashed: n });
+            self.emit(
+                now,
+                TraceEvent::Squash {
+                    seq: branch_seq,
+                    squashed: n,
+                },
+            );
+            self.obs.emit(
+                now,
+                SimEvent::Squash {
+                    core: self.core.index(),
+                    seq: branch_seq,
+                    squashed: n,
+                },
+            );
+            self.emit_squashed_loads(now, &new_loads);
             self.fetch_pc = redirect;
             self.fetch_halted = false;
             match &mut self.squash {
@@ -478,9 +502,7 @@ impl Pipeline {
             }
             // The front end is redirected in any case; the stall length is
             // decided when the scheme's cleanup completes (below).
-            self.fetch_stall_until = self
-                .fetch_stall_until
-                .max(now + self.cfg.redirect_penalty);
+            self.fetch_stall_until = self.fetch_stall_until.max(now + self.cfg.redirect_penalty);
         }
 
         // Second: if a squash is pending, run cleanup once older inflight
@@ -505,10 +527,46 @@ impl Pipeline {
                 let resume = resp.resume_at.max(now);
                 self.stats.squash_wait_cycles += now - mispredict_at;
                 self.stats.squash_cleanup_cycles += resume - now;
+                self.stats.cleanup_duration.record(resume - now);
+                self.obs.emit(
+                    now,
+                    SimEvent::CleanupStart {
+                        core: self.core.index(),
+                        loads: loads.len() as u64,
+                        stall: resume - now,
+                    },
+                );
+                self.obs.emit(
+                    resume,
+                    SimEvent::CleanupEnd {
+                        core: self.core.index(),
+                        stall: resume - now,
+                    },
+                );
                 self.fetch_stall_until = self.fetch_stall_until.max(resume);
                 if self.halt_after_squash {
                     self.halted = true;
                 }
+            }
+        }
+    }
+
+    /// Emits one [`SimEvent::SquashedLoad`] per squashed load with a known
+    /// line (the leakage-audit sink correlates these with cleanup events).
+    fn emit_squashed_loads(&mut self, now: Cycle, loads: &[SquashedLoad]) {
+        if !self.obs.is_enabled() {
+            return;
+        }
+        for l in loads {
+            if let Some(line) = l.line {
+                self.obs.emit(
+                    now,
+                    SimEvent::SquashedLoad {
+                        core: self.core.index(),
+                        line: line.raw(),
+                        issued: !matches!(l.state, SquashedLoadState::NotIssued),
+                    },
+                );
             }
         }
     }
@@ -533,7 +591,8 @@ impl Pipeline {
             if let Some(li) = e.lq {
                 if let Some(lqe) = self.lq[li] {
                     if lqe.seq == e.seq {
-                        let rec = self.squash_record(&lqe, matches!(e.status, Status::Issued { .. }));
+                        let rec =
+                            self.squash_record(&lqe, matches!(e.status, Status::Issued { .. }));
                         loads.push(rec);
                         self.lq[li] = None;
                     }
@@ -567,7 +626,8 @@ impl Pipeline {
     fn squash_record(&mut self, lqe: &LqEntry, _rob_issued: bool) -> SquashedLoad {
         match lqe.state {
             LqState::NotIssued => {
-                self.stats.record_squashed_load(SquashedClass::NotIssued, false);
+                self.stats
+                    .record_squashed_load(SquashedClass::NotIssued, false);
                 SquashedLoad {
                     line: None,
                     load_id: None,
@@ -575,7 +635,8 @@ impl Pipeline {
                 }
             }
             LqState::Deferred { line } => {
-                self.stats.record_squashed_load(SquashedClass::NotIssued, false);
+                self.stats
+                    .record_squashed_load(SquashedClass::NotIssued, false);
                 SquashedLoad {
                     line: Some(line),
                     load_id: None,
@@ -585,8 +646,7 @@ impl Pipeline {
             LqState::Inflight {
                 line, token, path, ..
             } => {
-                self.stats
-                    .record_squashed_load(Self::classify(path), true);
+                self.stats.record_squashed_load(Self::classify(path), true);
                 SquashedLoad {
                     line: Some(line),
                     load_id: None,
@@ -646,6 +706,21 @@ impl Pipeline {
                 }
             }
             let mut entry = self.rob.front().expect("checked").clone();
+            // Capture the load's line for the commit event before the LQ
+            // slot is freed below.
+            let committed_line = if self.obs.is_enabled() {
+                entry
+                    .lq
+                    .and_then(|li| self.lq[li])
+                    .filter(|l| l.seq == entry.seq)
+                    .and_then(|l| match l.state {
+                        LqState::Done { line, .. } => line,
+                        LqState::Inflight { line, .. } | LqState::Deferred { line } => Some(line),
+                        LqState::NotIssued => None,
+                    })
+            } else {
+                None
+            };
             // Deferred exception: a faulting load never retires — it (and
             // everything younger) is squashed, and the active scheme
             // cleans up its transient cache changes exactly as for a
@@ -665,7 +740,10 @@ impl Pipeline {
             // Scheme hook + memory side effects.
             match entry.inst {
                 Inst::Load { .. } => {
-                    let lqe = entry.lq.and_then(|li| self.lq[li]).filter(|l| l.seq == entry.seq);
+                    let lqe = entry
+                        .lq
+                        .and_then(|li| self.lq[li])
+                        .filter(|l| l.seq == entry.seq);
                     if !entry.committed_scheme_done {
                         let (line, path, issued_spec, completed_at, exposed_until) =
                             match lqe.map(|l| l.state) {
@@ -786,6 +864,12 @@ impl Pipeline {
                     pc: entry.pc,
                 },
             );
+            self.obs.emit_with(now, || SimEvent::Commit {
+                core: self.core.index(),
+                seq: entry.seq,
+                pc: entry.pc as u64,
+                line: committed_line.map(|l| l.raw()),
+            });
             self.rob.pop_front();
             self.stats.committed_insts += 1;
             if self.halted {
@@ -799,11 +883,21 @@ impl Pipeline {
     /// the program), and hands the squashed loads to the scheme's squash
     /// path for cleanup on the next `process_squash`.
     fn raise_fault(&mut self, now: Cycle) {
-        let head_seq = self.rob.front().expect("fault needs a head").seq;
+        let head = self.rob.front().expect("fault needs a head");
+        let (head_seq, head_pc) = (head.seq, head.pc);
         self.stats.faults += 1;
         self.stats.squashes += 1;
         self.emit(now, TraceEvent::Fault { seq: head_seq });
+        self.obs.emit(
+            now,
+            SimEvent::Fault {
+                core: self.core.index(),
+                seq: head_seq,
+                pc: head_pc as u64,
+            },
+        );
         let loads = self.squash_younger(head_seq - 1);
+        self.emit_squashed_loads(now, &loads);
         match self.program.fault_handler {
             Some(h) => {
                 self.fetch_pc = h;
@@ -950,10 +1044,7 @@ impl Pipeline {
                     }
                 }
                 Inst::Alu { op, latency, .. } => {
-                    let (Some(a), Some(b)) = (
-                        self.operand(i, 0),
-                        self.operand(i, 1),
-                    ) else {
+                    let (Some(a), Some(b)) = (self.operand(i, 0), self.operand(i, 1)) else {
                         continue;
                     };
                     let e = &mut self.rob[i];
@@ -972,8 +1063,7 @@ impl Pipeline {
                     };
                     let addr = Addr::new(base.wrapping_add(offset as u64));
                     let unsquashable = !self.has_older_unresolved_control(seq);
-                    if scheme.issue_policy() == LoadIssuePolicy::WhenUnsquashable && !unsquashable
-                    {
+                    if scheme.issue_policy() == LoadIssuePolicy::WhenUnsquashable && !unsquashable {
                         continue;
                     }
                     // Deferred (GetS-Safe) loads retry only when safe.
@@ -1045,6 +1135,14 @@ impl Pipeline {
                                     spec: is_spec,
                                 },
                             );
+                            self.obs.emit_with(now, || SimEvent::LoadIssue {
+                                core: self.core.index(),
+                                seq,
+                                line: addr.line().raw(),
+                                path: PathKind::from(out.path),
+                                spec: is_spec,
+                                latency: out.complete_at - now,
+                            });
                             let li = self.rob[i].lq.expect("loads own an LQ slot");
                             self.lq[li] = Some(LqEntry {
                                 seq,
@@ -1075,8 +1173,7 @@ impl Pipeline {
                     if self.has_older_pending_fence(seq) {
                         continue;
                     }
-                    let (Some(base), Some(val)) = (self.operand(i, 0), self.operand(i, 1))
-                    else {
+                    let (Some(base), Some(val)) = (self.operand(i, 0), self.operand(i, 1)) else {
                         continue;
                     };
                     let addr = Addr::new(base.wrapping_add(offset as u64));
@@ -1158,8 +1255,18 @@ impl Pipeline {
     fn src_reg(inst: Inst, k: usize) -> Option<Reg> {
         use crate::isa::Operand as Op;
         match (inst, k) {
-            (Inst::Alu { src1: Op::Reg(r), .. }, 0) => Some(r),
-            (Inst::Alu { src2: Op::Reg(r), .. }, 1) => Some(r),
+            (
+                Inst::Alu {
+                    src1: Op::Reg(r), ..
+                },
+                0,
+            ) => Some(r),
+            (
+                Inst::Alu {
+                    src2: Op::Reg(r), ..
+                },
+                1,
+            ) => Some(r),
             (Inst::Load { base, .. }, 0) => Some(base),
             (Inst::Store { base, .. }, 0) => Some(base),
             (Inst::Store { src, .. }, 1) => Some(src),
@@ -1251,6 +1358,11 @@ impl Pipeline {
                 });
             }
             self.emit(now, TraceEvent::Dispatch { seq, pc });
+            self.obs.emit_with(now, || SimEvent::Dispatch {
+                core: self.core.index(),
+                seq,
+                pc: pc as u64,
+            });
             self.rob.push_back(RobEntry {
                 seq,
                 pc,
@@ -1354,10 +1466,7 @@ mod tests {
         ) -> crate::scheme::SquashResponse {
             // Orphan inflight squashed loads like a non-secure core.
             for l in info.loads {
-                if let SquashedLoadState::Inflight {
-                    token: Some(t), ..
-                } = l.state
-                {
+                if let SquashedLoadState::Inflight { token: Some(t), .. } = l.state {
                     let _ = t;
                 }
             }
@@ -1393,7 +1502,12 @@ mod tests {
         let mut b = ProgramBuilder::new("alu");
         b.movi(Reg(1), 10);
         b.movi(Reg(2), 32);
-        b.alu(Reg(3), AluOp::Add, Operand::Reg(Reg(1)), Operand::Reg(Reg(2)));
+        b.alu(
+            Reg(3),
+            AluOp::Add,
+            Operand::Reg(Reg(1)),
+            Operand::Reg(Reg(2)),
+        );
         b.halt();
         let (pipe, _) = run_program(b.build(), 1000);
         assert!(pipe.halted());
@@ -1471,8 +1585,7 @@ mod tests {
         // The wrong-path line was fetched into the hierarchy (the Plain
         // scheme retains or at least initiated it).
         let line = Addr::new(secret_addr).line();
-        let polluted =
-            mem.l1(CoreId(0)).probe(line).is_some() || mem.l2().probe(line).is_some();
+        let polluted = mem.l1(CoreId(0)).probe(line).is_some() || mem.l2().probe(line).is_some();
         assert!(polluted, "wrong-path install should be visible (insecure)");
         // And r4 must NOT be architecturally written.
         assert_eq!(pipe.reg(Reg(4)), 0);

@@ -2,6 +2,7 @@
 //! decompositions behind Figures 12–15 and Table 5 of the paper.
 
 use cleanupspec_mem::types::Cycle;
+use cleanupspec_obs::Histogram;
 
 /// Classification of a squashed load (Table 5 columns).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -67,6 +68,9 @@ pub struct CoreStats {
     pub forwarded_loads: u64,
     /// Faults raised at commit (Meltdown-style deferred exceptions).
     pub faults: u64,
+    /// Distribution of per-squash cleanup durations (cycles from the
+    /// scheme's `on_squash` to its resume cycle).
+    pub cleanup_duration: Histogram,
 }
 
 impl CoreStats {

@@ -115,9 +115,10 @@ impl System {
                 return StopReason::AllHalted;
             }
             if limits.max_insts_per_core != u64::MAX
-                && self.cores.iter().all(|c| {
-                    c.halted() || c.stats().committed_insts >= limits.max_insts_per_core
-                })
+                && self
+                    .cores
+                    .iter()
+                    .all(|c| c.halted() || c.stats().committed_insts >= limits.max_insts_per_core)
             {
                 self.stamp_cycles();
                 return StopReason::InstLimit;
@@ -137,6 +138,15 @@ impl System {
             c.reset_stats();
         }
         self.mem.reset_stats();
+    }
+
+    /// Attaches the event-bus observer to the memory hierarchy and every
+    /// core pipeline.
+    pub fn set_observer(&mut self, obs: cleanupspec_obs::Observer) {
+        self.mem.set_observer(obs.clone());
+        for c in &mut self.cores {
+            c.set_observer(obs.clone());
+        }
     }
 
     fn stamp_cycles(&mut self) {
@@ -192,9 +202,7 @@ impl System {
 mod tests {
     use super::*;
     use crate::isa::{ProgramBuilder, Reg};
-    use crate::scheme::{
-        CommitAction, CommittedLoad, LoadIssue, SquashInfo, SquashResponse,
-    };
+    use crate::scheme::{CommitAction, CommittedLoad, LoadIssue, SquashInfo, SquashResponse};
     use cleanupspec_mem::hierarchy::{LoadReq, MemConfig};
     use cleanupspec_mem::mshr::MshrFullError;
     use cleanupspec_mem::types::LoadId;
@@ -221,11 +229,7 @@ mod tests {
         ) -> CommitAction {
             CommitAction::Proceed
         }
-        fn on_squash(
-            &mut self,
-            _mem: &mut MemHierarchy,
-            info: SquashInfo<'_>,
-        ) -> SquashResponse {
+        fn on_squash(&mut self, _mem: &mut MemHierarchy, info: SquashInfo<'_>) -> SquashResponse {
             SquashResponse {
                 resume_at: info.now,
             }

@@ -161,7 +161,13 @@ mod tests {
                 spec: true,
             },
         );
-        t.push(9, TraceEvent::Squash { seq: 1, squashed: 4 });
+        t.push(
+            9,
+            TraceEvent::Squash {
+                seq: 1,
+                squashed: 4,
+            },
+        );
         let d = t.dump();
         assert_eq!(d.lines().count(), 3);
         assert!(d.contains("dispatch seq=1 pc=7"));

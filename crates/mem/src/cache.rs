@@ -109,7 +109,10 @@ impl CacheConfig {
     /// Panics if the geometry does not divide into a power-of-two set count.
     pub fn num_sets(&self) -> usize {
         let sets = self.capacity_bytes / 64 / self.ways;
-        assert!(sets.is_power_of_two() && sets > 0, "sets must be 2^k, got {sets}");
+        assert!(
+            sets.is_power_of_two() && sets > 0,
+            "sets must be 2^k, got {sets}"
+        );
         sets
     }
 }
@@ -142,7 +145,7 @@ impl SetAssocCache {
     pub fn new(name: &'static str, cfg: CacheConfig) -> Self {
         let sets = cfg.num_sets();
         assert!(
-            cfg.skews >= 1 && cfg.ways % cfg.skews == 0,
+            cfg.skews >= 1 && cfg.ways.is_multiple_of(cfg.skews),
             "skews must divide ways"
         );
         // Derive one indexer per skew group. For the CEASER indexer, the
@@ -310,8 +313,7 @@ impl SetAssocCache {
             } else {
                 let g = self.skew_rng.below(groups as u64) as usize;
                 let set = self.set_of_group(line, g);
-                let w = g * self.group_ways
-                    + self.skew_rng.below(self.group_ways as u64) as usize;
+                let w = g * self.group_ways + self.skew_rng.below(self.group_ways as u64) as usize;
                 let v = self.slot(set, w);
                 (
                     set,
@@ -471,7 +473,9 @@ mod tests {
         c.install(a, Mesi::Shared, false, None);
         c.install(b, Mesi::Shared, false, None);
         assert!(c.touch(a)); // a becomes MRU; b is victim
-        let ev = c.install(LineAddr::new(8), Mesi::Shared, false, None).unwrap();
+        let ev = c
+            .install(LineAddr::new(8), Mesi::Shared, false, None)
+            .unwrap();
         assert_eq!(ev.line, b);
     }
 
@@ -547,7 +551,11 @@ mod tests {
             let line = LineAddr::new(i * 4); // all map to set 0
             let ea = a.install(line, Mesi::Shared, false, None);
             let eb = b.install(line, Mesi::Shared, false, None);
-            assert_eq!(ea.map(|e| e.line), eb.map(|e| e.line), "same seed, same victims");
+            assert_eq!(
+                ea.map(|e| e.line),
+                eb.map(|e| e.line),
+                "same seed, same victims"
+            );
         }
     }
 
@@ -572,7 +580,10 @@ mod tests {
         let probe_hits = (900..1000u64)
             .filter(|i| c.probe(LineAddr::new(i * 7)).is_some())
             .count();
-        assert!(probe_hits > 50, "most recent installs resident: {probe_hits}");
+        assert!(
+            probe_hits > 50,
+            "most recent installs resident: {probe_hits}"
+        );
         let line = LineAddr::new(999 * 7);
         if c.probe(line).is_some() {
             assert!(c.invalidate(line).is_some());
@@ -595,9 +606,7 @@ mod tests {
             },
         );
         let differing = (0..512u64)
-            .filter(|&i| {
-                c.set_of_group(LineAddr::new(i), 0) != c.set_of_group(LineAddr::new(i), 1)
-            })
+            .filter(|&i| c.set_of_group(LineAddr::new(i), 0) != c.set_of_group(LineAddr::new(i), 1))
             .count();
         assert!(differing > 400, "groups must decorrelate ({differing}/512)");
     }

@@ -132,7 +132,10 @@ mod tests {
         let c = CeaserCipher::new(0xC0FFEE);
         for i in 0..10_000u64 {
             let line = LineAddr::new(i * 977);
-            assert_eq!(c.decrypt(c.encrypt(line)), LineAddr::new(line.raw() & ((1 << 40) - 1)));
+            assert_eq!(
+                c.decrypt(c.encrypt(line)),
+                LineAddr::new(line.raw() & ((1 << 40) - 1))
+            );
         }
     }
 
@@ -141,7 +144,10 @@ mod tests {
         let c = CeaserCipher::new(1);
         let mut seen = HashSet::new();
         for i in 0..50_000u64 {
-            assert!(seen.insert(c.encrypt(LineAddr::new(i)).raw()), "collision at {i}");
+            assert!(
+                seen.insert(c.encrypt(LineAddr::new(i)).raw()),
+                "collision at {i}"
+            );
         }
     }
 
@@ -152,7 +158,10 @@ mod tests {
         let differing = (0..1000u64)
             .filter(|&i| a.encrypt(LineAddr::new(i)) != b.encrypt(LineAddr::new(i)))
             .count();
-        assert!(differing > 900, "keys should decorrelate mappings ({differing})");
+        assert!(
+            differing > 900,
+            "keys should decorrelate mappings ({differing})"
+        );
     }
 
     #[test]
@@ -170,7 +179,10 @@ mod tests {
             }
         }
         // Under modulo indexing this would be 2048; under a PRP it is ~1.
-        assert!(same_set_neighbors < 32, "contiguity survived: {same_set_neighbors}");
+        assert!(
+            same_set_neighbors < 32,
+            "contiguity survived: {same_set_neighbors}"
+        );
     }
 
     #[test]

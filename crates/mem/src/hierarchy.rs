@@ -30,13 +30,12 @@
 
 use crate::cache::{CacheConfig, Evicted, Mesi, SetAssocCache};
 use crate::ceaser::Indexer;
-use crate::mshr::{
-    LoadPath, MshrEntry, MshrFile, MshrFullError, MshrState, MshrToken, SefeRecord,
-};
 use crate::dram::Dram;
+use crate::mshr::{LoadPath, MshrEntry, MshrFile, MshrFullError, MshrState, MshrToken, SefeRecord};
 use crate::replacement::ReplacementKind;
 use crate::stats::{LoadClass, MemStats, MsgClass, Traffic};
 use crate::types::{CoreId, Cycle, EpochId, LineAddr, LoadId, SpecTag};
+use cleanupspec_obs::{CacheLevel, Observer, SimEvent};
 use std::collections::HashMap;
 
 /// Directory entry for one L2-resident line.
@@ -142,7 +141,12 @@ impl Default for MemConfig {
 impl MemConfig {
     /// Effective L2 round trip, including the CEASER penalty if randomized.
     pub fn l2_effective_rt(&self) -> Cycle {
-        self.l2_rt + if self.l2_randomized { self.l2_crypto_penalty } else { 0 }
+        self.l2_rt
+            + if self.l2_randomized {
+                self.l2_crypto_penalty
+            } else {
+                0
+            }
     }
 }
 
@@ -224,6 +228,12 @@ pub struct MemHierarchy {
     epoch: Vec<EpochId>,
     stats: MemStats,
     traffic: Traffic,
+    obs: Observer,
+    /// Cycle of the most recent externally stamped operation; events from
+    /// calls without a `now` parameter (cleanup ops, retires) are stamped
+    /// with it. Exact in a live simulation, where `advance(now)` runs each
+    /// cycle before the cores act.
+    now_hint: Cycle,
 }
 
 impl MemHierarchy {
@@ -277,8 +287,29 @@ impl MemHierarchy {
             mshr,
             stats: MemStats::default(),
             traffic: Traffic::default(),
+            obs: Observer::disabled(),
+            now_hint: 0,
             cfg,
         }
+    }
+
+    /// Attaches the event-bus observer, propagating it to every MSHR file.
+    /// Emits the initial [`SimEvent::CeaserRemap`] keying event when the L2
+    /// index is randomized.
+    pub fn set_observer(&mut self, obs: Observer) {
+        for f in &mut self.mshr {
+            f.set_observer(obs.clone());
+        }
+        if self.cfg.l2_randomized {
+            obs.emit(
+                self.now_hint,
+                SimEvent::CeaserRemap {
+                    level: CacheLevel::L2,
+                    epoch: 0,
+                },
+            );
+        }
+        self.obs = obs;
     }
 
     /// The configuration this hierarchy was built with.
@@ -355,6 +386,8 @@ impl MemHierarchy {
         now: Cycle,
         req: LoadReq,
     ) -> Result<LoadOutcome, MshrFullError> {
+        self.now_hint = now;
+        self.mshr[core.index()].stamp(now);
         match req.kind {
             LoadKind::Invisible => Ok(self.load_invisible(core, line, now)),
             LoadKind::Demand | LoadKind::Expose => self.load_demand(core, line, now, req),
@@ -387,12 +420,10 @@ impl MemHierarchy {
             }
         } else {
             self.traffic.add(cls, 4);
-            (
-                LoadPath::Mem,
-                self.cfg.l2_effective_rt() + self.cfg.dram_rt,
-            )
+            (LoadPath::Mem, self.cfg.l2_effective_rt() + self.cfg.dram_rt)
         };
         self.stats.record_path(path);
+        self.stats.record_latency(path, latency);
         LoadOutcome {
             complete_at: now + latency,
             path,
@@ -415,6 +446,7 @@ impl MemHierarchy {
         if self.l1[ci].probe(line).is_some() {
             self.l1[ci].touch(line);
             self.stats.record_path(LoadPath::L1Hit);
+            self.stats.record_latency(LoadPath::L1Hit, self.cfg.l1_rt);
             self.stats.classify(LoadClass::SafeCache);
             return Ok(LoadOutcome {
                 complete_at: now + self.cfg.l1_rt,
@@ -429,6 +461,8 @@ impl MemHierarchy {
         if let Some(e) = self.mshr[ci].find_pending(line) {
             let (at, path) = (e.complete_at, e.path);
             self.stats.record_path(path);
+            self.stats
+                .record_latency(path, at.max(now + self.cfg.l1_rt) - now);
             self.stats.classify(match path {
                 LoadPath::Mem => LoadClass::Dram,
                 LoadPath::RemoteL1 => LoadClass::RemoteEM,
@@ -453,7 +487,15 @@ impl MemHierarchy {
                 let latency = self.cfg.l2_effective_rt() + self.cfg.dram_rt;
                 self.traffic.add(cls, 4);
                 self.stats.record_path(LoadPath::DummyMiss);
+                self.stats.record_latency(LoadPath::DummyMiss, latency);
                 self.stats.classify(LoadClass::SafeCache);
+                self.obs.emit(
+                    now,
+                    SimEvent::DummyMiss {
+                        core: ci,
+                        line: line.raw(),
+                    },
+                );
                 return Ok(LoadOutcome {
                     complete_at: now + latency,
                     path: LoadPath::DummyMiss,
@@ -470,6 +512,14 @@ impl MemHierarchy {
                         // GetS-Safe fails: NACK, no state change (Sec. 3.5).
                         self.stats.gets_safe_refusals += 1;
                         self.traffic.add(MsgClass::Coherence, 2);
+                        self.obs.emit(
+                            now,
+                            SimEvent::GetsSafeDefer {
+                                core: ci,
+                                line: line.raw(),
+                                owner: owner.index(),
+                            },
+                        );
                         return Ok(LoadOutcome {
                             complete_at: now + self.cfg.l2_effective_rt(),
                             path: LoadPath::RemoteL1,
@@ -499,6 +549,13 @@ impl MemHierarchy {
             self.stats.classify(LoadClass::Dram);
             self.traffic.add(cls, 4);
             let _ = self.dram.read(now);
+            self.obs.emit(
+                now,
+                SimEvent::DramRead {
+                    core: ci,
+                    line: line.raw(),
+                },
+            );
             (
                 LoadPath::Mem,
                 self.cfg.l2_effective_rt() + self.cfg.dram_rt,
@@ -507,23 +564,46 @@ impl MemHierarchy {
         };
 
         self.stats.record_path(path);
+        self.stats.record_latency(path, latency);
         // InvisiSpec update (Expose) loads have no load-queue entry waiting
         // to collect them: they fill and self-free as orphans.
         let auto_free = req.kind == LoadKind::Expose;
-        let token = self.mshr[ci].alloc(MshrEntry {
-            line,
-            core,
-            epoch: self.epoch[ci],
-            load: req.load,
-            is_spec: req.spec && !auto_free,
-            complete_at: now + latency,
-            path,
-            wants_l2_fill,
-            state: MshrState::Pending,
-            record: SefeRecord::default(),
-            orphan: auto_free,
-            gen: 0,
-        })?;
+        let token = self.mshr[ci]
+            .alloc(MshrEntry {
+                line,
+                core,
+                epoch: self.epoch[ci],
+                load: req.load,
+                is_spec: req.spec && !auto_free,
+                complete_at: now + latency,
+                path,
+                wants_l2_fill,
+                state: MshrState::Pending,
+                record: SefeRecord::default(),
+                orphan: auto_free,
+                gen: 0,
+            })
+            .inspect_err(|_| {
+                // A speculative load with no free entry is a SEFE overflow:
+                // it retries rather than running unlogged (Section 3.3).
+                if req.spec {
+                    self.obs.emit(
+                        now,
+                        SimEvent::SefeOverflow {
+                            core: ci,
+                            line: line.raw(),
+                        },
+                    );
+                }
+            })?;
+        self.stats
+            .mshr_occupancy
+            .record(self.mshr[ci].occupancy() as u64);
+        if req.spec {
+            self.stats
+                .sefe_occupancy
+                .record(self.mshr[ci].spec_occupancy() as u64);
+        }
         // Stamp whether this fill should carry a window-protection tag.
         if req.tag_spec_install && req.spec {
             // Encoded via is_spec + the scheme's tagging choice: we reuse
@@ -551,6 +631,13 @@ impl MemHierarchy {
             }
             l.state = Mesi::Shared;
             l.dirty = false;
+            self.obs.emit(
+                self.now_hint,
+                SimEvent::Downgrade {
+                    owner: oi,
+                    line: line.raw(),
+                },
+            );
         }
         if let Some(d) = self.dir.get_mut(&line) {
             d.owner = None;
@@ -565,7 +652,9 @@ impl MemHierarchy {
     /// responses have arrived, and frees dropped entries. Must be called
     /// once per cycle, before the cores issue new accesses.
     pub fn advance(&mut self, now: Cycle) {
+        self.now_hint = now;
         for ci in 0..self.cfg.num_cores {
+            self.mshr[ci].stamp(now);
             // Collect due slots first to avoid borrowing issues.
             let due: Vec<(usize, MshrEntry)> = self.mshr[ci]
                 .iter_mut_indexed()
@@ -578,6 +667,13 @@ impl MemHierarchy {
                         // Squashed inflight load: data returns, nothing
                         // changes, entry freed (Section 3.3).
                         self.stats.dropped_fills += 1;
+                        self.obs.emit(
+                            now,
+                            SimEvent::DroppedFill {
+                                core: ci,
+                                line: entry.line.raw(),
+                            },
+                        );
                         self.mshr[ci].clear_slot(slot);
                     }
                     MshrState::Pending => {
@@ -596,8 +692,17 @@ impl MemHierarchy {
                             // Insecure modes: the squashed load's fill still
                             // lands — the leak CleanupSpec closes.
                             self.stats.orphan_fills += 1;
+                            self.obs.emit(
+                                now,
+                                SimEvent::OrphanFill {
+                                    core: ci,
+                                    line: entry.line.raw(),
+                                },
+                            );
                             self.mshr[ci].clear_slot(slot);
-                        } else if let Some(e) = self.mshr[ci].iter_mut_indexed().find(|(i, _)| *i == slot) {
+                        } else if let Some(e) =
+                            self.mshr[ci].iter_mut_indexed().find(|(i, _)| *i == slot)
+                        {
                             e.1.record = rec;
                             e.1.state = MshrState::Filled;
                         }
@@ -609,12 +714,7 @@ impl MemHierarchy {
     }
 
     /// Performs the installs for a completed miss. Returns the SEFE record.
-    fn perform_fill(
-        &mut self,
-        core: CoreId,
-        line: LineAddr,
-        tag: Option<SpecTag>,
-    ) -> SefeRecord {
+    fn perform_fill(&mut self, core: CoreId, line: LineAddr, tag: Option<SpecTag>) -> SefeRecord {
         let mut rec = SefeRecord::default();
         // Install into the L2 whenever the line is absent — even when the
         // request hit the L2 at issue time: an intervening clflush or L2
@@ -624,8 +724,17 @@ impl MemHierarchy {
             rec.l2_fill = true;
             let evicted = self.l2.install(line, Mesi::Shared, false, tag);
             self.dir.insert(line, DirEntry::default());
+            self.obs.emit(
+                self.now_hint,
+                SimEvent::Fill {
+                    core: core.index(),
+                    line: line.raw(),
+                    level: CacheLevel::L2,
+                    spec: tag.is_some(),
+                },
+            );
             if let Some(v) = evicted {
-                self.handle_l2_eviction(v);
+                self.handle_l2_eviction(core, v, tag.map(|_| line));
             }
         }
         // L1 install.
@@ -650,17 +759,38 @@ impl MemHierarchy {
             };
             dir.add(core);
             let evicted = self.l1[ci].install(line, state, false, tag);
+            self.obs.emit(
+                self.now_hint,
+                SimEvent::Fill {
+                    core: ci,
+                    line: line.raw(),
+                    level: CacheLevel::L1,
+                    spec: tag.is_some(),
+                },
+            );
             if let Some(v) = evicted {
                 rec.l1_evict = Some(v.line);
                 self.stats.l1_evictions += 1;
-                self.handle_l1_eviction(core, v);
+                self.handle_l1_eviction(core, v, tag.map(|_| line));
             }
         }
         rec
     }
 
     /// Handles a line evicted from an L1: directory removal + writeback.
-    fn handle_l1_eviction(&mut self, core: CoreId, v: Evicted) {
+    /// `evictor` is the line whose speculative install displaced it, if
+    /// any (the victim CleanupSpec owes a restore on squash).
+    fn handle_l1_eviction(&mut self, core: CoreId, v: Evicted, evictor: Option<LineAddr>) {
+        self.obs.emit(
+            self.now_hint,
+            SimEvent::Evict {
+                core: core.index(),
+                line: v.line.raw(),
+                level: CacheLevel::L1,
+                dirty: v.dirty,
+                evictor: evictor.map(LineAddr::raw),
+            },
+        );
         if let Some(d) = self.dir.get_mut(&v.line) {
             d.remove(core);
         }
@@ -669,27 +799,54 @@ impl MemHierarchy {
                 l2l.dirty = true;
             } else {
                 self.dram.writeback();
+                self.obs.emit(
+                    self.now_hint,
+                    SimEvent::DramWriteback { line: v.line.raw() },
+                );
             }
             self.traffic.add(MsgClass::Writeback, 1);
         }
     }
 
     /// Handles a line evicted from the inclusive L2: back-invalidate L1
-    /// copies, drop the directory entry, write back dirty data.
-    fn handle_l2_eviction(&mut self, v: Evicted) {
+    /// copies, drop the directory entry, write back dirty data. `core` is
+    /// the requester whose install caused the eviction; `evictor` is the
+    /// installing line when that install was speculative.
+    fn handle_l2_eviction(&mut self, core: CoreId, v: Evicted, evictor: Option<LineAddr>) {
         self.stats.l2_evictions += 1;
+        self.obs.emit(
+            self.now_hint,
+            SimEvent::Evict {
+                core: core.index(),
+                line: v.line.raw(),
+                level: CacheLevel::L2,
+                dirty: v.dirty,
+                evictor: evictor.map(LineAddr::raw),
+            },
+        );
         let mut dirty = v.dirty;
         if let Some(d) = self.dir.remove(&v.line) {
-            for core in d.sharer_list(self.cfg.num_cores) {
-                if let Some(prev) = self.l1[core.index()].invalidate(v.line) {
+            for c in d.sharer_list(self.cfg.num_cores) {
+                if let Some(prev) = self.l1[c.index()].invalidate(v.line) {
                     self.stats.back_invals += 1;
                     self.traffic.add(MsgClass::Inval, 1);
+                    self.obs.emit(
+                        self.now_hint,
+                        SimEvent::BackInval {
+                            core: c.index(),
+                            line: v.line.raw(),
+                        },
+                    );
                     dirty |= prev.dirty;
                 }
             }
         }
         if dirty {
             self.dram.writeback();
+            self.obs.emit(
+                self.now_hint,
+                SimEvent::DramWriteback { line: v.line.raw() },
+            );
             self.traffic.add(MsgClass::Writeback, 1);
         }
     }
@@ -713,6 +870,7 @@ impl MemHierarchy {
 
     /// Performs a committed store to `line`. State changes are immediate.
     pub fn store(&mut self, core: CoreId, line: LineAddr, now: Cycle) -> StoreOutcome {
+        self.now_hint = now;
         self.stats.stores += 1;
         let ci = core.index();
         if let Some(l) = self.l1[ci].probe_mut(line) {
@@ -758,7 +916,7 @@ impl MemHierarchy {
             let evicted = self.l2.install(line, Mesi::Shared, false, None);
             self.dir.insert(line, DirEntry::default());
             if let Some(v) = evicted {
-                self.handle_l2_eviction(v);
+                self.handle_l2_eviction(core, v, None);
             }
             self.traffic.add(MsgClass::Regular, 4);
         } else {
@@ -771,7 +929,7 @@ impl MemHierarchy {
         let evicted = self.l1[ci].install(line, Mesi::Modified, true, None);
         if let Some(v) = evicted {
             self.stats.l1_evictions += 1;
-            self.handle_l1_eviction(core, v);
+            self.handle_l1_eviction(core, v, None);
         }
         StoreOutcome {
             complete_at: now + latency,
@@ -807,7 +965,15 @@ impl MemHierarchy {
     ///
     /// CleanupSpec delays clflush until the correct path (Section 3.5,
     /// Table 2); the pipeline enforces that by only executing it at commit.
-    pub fn clflush(&mut self, _core: CoreId, line: LineAddr, now: Cycle) -> StoreOutcome {
+    pub fn clflush(&mut self, core: CoreId, line: LineAddr, now: Cycle) -> StoreOutcome {
+        self.now_hint = now;
+        self.obs.emit(
+            now,
+            SimEvent::Clflush {
+                core: core.index(),
+                line: line.raw(),
+            },
+        );
         let mut dirty = false;
         for ci in 0..self.cfg.num_cores {
             if let Some(prev) = self.l1[ci].invalidate(line) {
@@ -822,6 +988,8 @@ impl MemHierarchy {
         self.dir.remove(&line);
         if dirty {
             self.dram.writeback();
+            self.obs
+                .emit(now, SimEvent::DramWriteback { line: line.raw() });
             self.traffic.add(MsgClass::Writeback, 1);
         }
         StoreOutcome {
@@ -840,6 +1008,14 @@ impl MemHierarchy {
         let ci = core.index();
         self.epoch[ci] = self.epoch[ci].next();
         let n = self.mshr[ci].drop_pending();
+        self.obs.emit(
+            self.now_hint,
+            SimEvent::EpochBump {
+                core: ci,
+                epoch: u64::from(self.epoch[ci].raw()),
+                dropped: n as u64,
+            },
+        );
         if n > 0 {
             self.traffic.add(MsgClass::Cleanup, 1); // cleanup request + ack
         }
@@ -898,6 +1074,15 @@ impl MemHierarchy {
     /// CleanupSpec invalidation of a transiently installed line
     /// (Section 3.3). `l1`/`l2` select which levels the load filled.
     pub fn cleanup_invalidate(&mut self, core: CoreId, line: LineAddr, l1: bool, l2: bool) {
+        self.obs.emit(
+            self.now_hint,
+            SimEvent::CleanupInval {
+                core: core.index(),
+                line: line.raw(),
+                l1,
+                l2,
+            },
+        );
         if l1 {
             if let Some(prev) = self.l1[core.index()].invalidate(line) {
                 self.stats.cleanup_invals += 1;
@@ -924,11 +1109,20 @@ impl MemHierarchy {
                         if self.l1[c.index()].invalidate(line).is_some() {
                             self.stats.back_invals += 1;
                             self.traffic.add(MsgClass::Inval, 1);
+                            self.obs.emit(
+                                self.now_hint,
+                                SimEvent::BackInval {
+                                    core: c.index(),
+                                    line: line.raw(),
+                                },
+                            );
                         }
                     }
                 }
                 if prev.dirty {
                     self.dram.writeback();
+                    self.obs
+                        .emit(self.now_hint, SimEvent::DramWriteback { line: line.raw() });
                     self.traffic.add(MsgClass::Writeback, 1);
                 }
             }
@@ -944,17 +1138,31 @@ impl MemHierarchy {
         self.stats.cleanup_restores += 1;
         self.traffic.add(MsgClass::Cleanup, 2);
         let ci = core.index();
+        self.obs.emit(
+            self.now_hint,
+            SimEvent::CleanupRestore {
+                core: ci,
+                line: line.raw(),
+            },
+        );
         if self.l1[ci].probe(line).is_some() {
             return; // already back (e.g. restored by an older cleanup op)
         }
         if self.l2.probe(line).is_none() {
             // Rare: the victim also left the L2. Re-fetch from memory.
             let _ = self.dram.read(0);
+            self.obs.emit(
+                self.now_hint,
+                SimEvent::DramRead {
+                    core: ci,
+                    line: line.raw(),
+                },
+            );
             self.traffic.add(MsgClass::Regular, 2);
             let evicted = self.l2.install(line, Mesi::Shared, false, None);
             self.dir.insert(line, DirEntry::default());
             if let Some(v) = evicted {
-                self.handle_l2_eviction(v);
+                self.handle_l2_eviction(core, v, None);
             }
         }
         if let Some(o) = self.dir.get(&line).and_then(|d| d.owner) {
@@ -972,24 +1180,45 @@ impl MemHierarchy {
         };
         d.add(core);
         let evicted = self.l1[ci].install(line, state, false, None);
+        self.obs.emit(
+            self.now_hint,
+            SimEvent::Fill {
+                core: ci,
+                line: line.raw(),
+                level: CacheLevel::L1,
+                spec: false,
+            },
+        );
         if let Some(v) = evicted {
             self.stats.l1_evictions += 1;
-            self.handle_l1_eviction(core, v);
+            self.handle_l1_eviction(core, v, None);
         }
     }
 
     /// Clears the speculation-window tag of `line` for a retiring load of
     /// `core` (the load is now unsquashable).
     pub fn retire_load(&mut self, core: CoreId, line: LineAddr) {
+        let mut cleared = false;
         if let Some(l) = self.l1[core.index()].probe_mut(line) {
             if l.spec.is_some_and(|t| t.core == core) {
                 l.spec = None;
+                cleared = true;
             }
         }
         if let Some(l) = self.l2.probe_mut(line) {
             if l.spec.is_some_and(|t| t.core == core) {
                 l.spec = None;
+                cleared = true;
             }
+        }
+        if cleared {
+            self.obs.emit(
+                self.now_hint,
+                SimEvent::SpecRetire {
+                    core: core.index(),
+                    line: line.raw(),
+                },
+            );
         }
     }
 
@@ -1007,7 +1236,10 @@ impl MemHierarchy {
         for ci in 0..self.cfg.num_cores {
             for l in self.l1[ci].iter_valid() {
                 if self.l2.probe(l.line).is_none() {
-                    return Err(format!("inclusion violated: {} in L1-{ci} not in L2", l.line));
+                    return Err(format!(
+                        "inclusion violated: {} in L1-{ci} not in L2",
+                        l.line
+                    ));
                 }
                 let d = self
                     .dir
@@ -1162,7 +1394,10 @@ mod tests {
         let out = m.load(CoreId(0), line, 0, demand(0)).unwrap();
         assert_eq!(m.orphan_core_inflight(CoreId(0)), 1);
         m.advance(out.complete_at);
-        assert!(m.l1(CoreId(0)).probe(line).is_some(), "insecure mode installs");
+        assert!(
+            m.l1(CoreId(0)).probe(line).is_some(),
+            "insecure mode installs"
+        );
         assert_eq!(m.stats().orphan_fills, 1);
         m.check_invariants().unwrap();
     }

@@ -8,6 +8,7 @@
 //! squashing still-inflight loads free.
 
 use crate::types::{CoreId, Cycle, EpochId, LineAddr, LoadId};
+use cleanupspec_obs::{Observer, PathKind, SimEvent};
 
 /// Where a load was (or will be) serviced from.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -43,6 +44,18 @@ impl std::fmt::Display for LoadPath {
             LoadPath::DummyMiss => "dummy-miss",
         };
         f.write_str(s)
+    }
+}
+
+impl From<LoadPath> for PathKind {
+    fn from(p: LoadPath) -> PathKind {
+        match p {
+            LoadPath::L1Hit => PathKind::L1Hit,
+            LoadPath::L2Hit => PathKind::L2Hit,
+            LoadPath::RemoteL1 => PathKind::RemoteHit,
+            LoadPath::Mem => PathKind::Mem,
+            LoadPath::DummyMiss => PathKind::Dummy,
+        }
     }
 }
 
@@ -122,6 +135,11 @@ pub struct MshrFile {
     slots: Vec<Option<MshrEntry>>,
     gen: u64,
     high_water: usize,
+    obs: Observer,
+    // Entry lifecycle methods (alloc/free) lack a cycle parameter; the
+    // hierarchy stamps the file each `advance` so emitted events carry the
+    // current cycle without widening every public signature.
+    now_hint: Cycle,
 }
 
 /// Error returned when the MSHR file is full (the core must stall the load).
@@ -144,7 +162,20 @@ impl MshrFile {
             slots: (0..capacity).map(|_| None).collect(),
             gen: 0,
             high_water: 0,
+            obs: Observer::disabled(),
+            now_hint: 0,
         }
+    }
+
+    /// Attaches the event observer (shared with the rest of the hierarchy).
+    pub fn set_observer(&mut self, obs: Observer) {
+        self.obs = obs;
+    }
+
+    /// Updates the cycle stamp used by emitted lifecycle events.
+    #[inline]
+    pub fn stamp(&mut self, now: Cycle) {
+        self.now_hint = now;
     }
 
     /// Allocates an entry.
@@ -164,11 +195,19 @@ impl MshrFile {
             idx,
             gen: self.gen,
         };
+        let (line, is_spec) = (entry.line, entry.is_spec);
         self.slots[idx] = Some(MshrEntry {
             gen: self.gen,
             ..entry
         });
-        self.high_water = self.high_water.max(self.occupancy());
+        let occupancy = self.occupancy();
+        self.high_water = self.high_water.max(occupancy);
+        self.obs.emit_with(self.now_hint, || SimEvent::MshrAlloc {
+            core: self.core.0,
+            line: line.raw(),
+            spec: is_spec,
+            occupancy: occupancy as u64,
+        });
         Ok(token)
     }
 
@@ -191,8 +230,18 @@ impl MshrFile {
     /// Frees the entry addressed by `token` (no-op if stale).
     pub fn free(&mut self, token: MshrToken) {
         if self.get(token).is_some() {
-            self.slots[token.idx] = None;
+            let entry = self.slots[token.idx].take().expect("checked live");
+            self.emit_retire(&entry);
         }
+    }
+
+    fn emit_retire(&self, entry: &MshrEntry) {
+        self.obs.emit_with(self.now_hint, || SimEvent::MshrRetire {
+            core: self.core.0,
+            line: entry.line.raw(),
+            spec: entry.is_spec,
+            occupancy: self.occupancy() as u64,
+        });
     }
 
     /// Finds a pending entry for `line` (miss merging).
@@ -218,12 +267,19 @@ impl MshrFile {
 
     /// Removes the entry in `idx` (used by the fill pass after dropping).
     pub(crate) fn clear_slot(&mut self, idx: usize) {
-        self.slots[idx] = None;
+        if let Some(entry) = self.slots[idx].take() {
+            self.emit_retire(&entry);
+        }
     }
 
     /// Live entry count.
     pub fn occupancy(&self) -> usize {
         self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Live speculation-tagged entry count (the SEFE occupancy).
+    pub fn spec_occupancy(&self) -> usize {
+        self.slots.iter().flatten().filter(|e| e.is_spec).count()
     }
 
     /// Maximum simultaneous occupancy seen.
@@ -240,6 +296,12 @@ impl MshrFile {
                 e.state = MshrState::Dropped;
                 n += 1;
             }
+        }
+        if n > 0 {
+            self.obs.emit_with(self.now_hint, || SimEvent::MshrDrop {
+                core: self.core.0,
+                dropped: n as u64,
+            });
         }
         n
     }

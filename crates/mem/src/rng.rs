@@ -54,6 +54,17 @@ pub fn mix64(mut z: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Hashes a whole string to a 64-bit seed by folding every byte through
+/// [`mix64`]. Use this (not the first byte or the length) to derive
+/// per-workload seeds: names sharing a prefix still get distinct streams.
+pub fn mix_str(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in s.as_bytes() {
+        h = mix64(h ^ u64::from(b));
+    }
+    mix64(h ^ s.len() as u64)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -102,5 +113,15 @@ mod tests {
     fn mix64_is_a_function() {
         assert_eq!(mix64(123), mix64(123));
         assert_ne!(mix64(123), mix64(124));
+    }
+
+    #[test]
+    fn mix_str_distinguishes_similar_names() {
+        // Same first byte AND same length — the cases a lazy hash of
+        // `name[0]` or `name.len()` would collide on.
+        assert_ne!(mix_str("astar"), mix_str("apple"));
+        assert_ne!(mix_str("gcc"), mix_str("gap"));
+        assert_eq!(mix_str("lbm"), mix_str("lbm"));
+        assert_ne!(mix_str(""), mix_str("a"));
     }
 }

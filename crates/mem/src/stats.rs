@@ -3,6 +3,7 @@
 //! class (Figure 4b).
 
 use crate::mshr::LoadPath;
+use cleanupspec_obs::{Histogram, PathKind};
 
 /// Classes of on-chip network messages, for the Figure 4(b) traffic
 /// breakdown. Each counted unit is one message (request or response).
@@ -144,6 +145,13 @@ pub struct MemStats {
     pub class_remote_em: u64,
     /// See [`LoadClass::Dram`].
     pub class_dram: u64,
+    /// Load-latency histograms, indexed by [`PathKind::index`] (same order
+    /// as [`PathKind::ALL`]: l1-hit, l2-hit, remote-hit, mem, dummy).
+    pub load_latency: [Histogram; 5],
+    /// MSHR occupancy sampled at each allocation.
+    pub mshr_occupancy: Histogram,
+    /// Speculative (SEFE) entry occupancy sampled at each spec allocation.
+    pub sefe_occupancy: Histogram,
 }
 
 impl MemStats {
@@ -165,6 +173,11 @@ impl MemStats {
             LoadPath::Mem => self.mem_loads += 1,
             LoadPath::DummyMiss => self.dummy_misses += 1,
         }
+    }
+
+    /// Records the service latency of one load on its path's histogram.
+    pub fn record_latency(&mut self, path: LoadPath, latency: u64) {
+        self.load_latency[PathKind::from(path).index()].record(latency);
     }
 
     /// Total demand loads observed.

@@ -1,0 +1,74 @@
+//! Streaming JSONL (one JSON object per line) sink.
+
+use crate::event::SimEvent;
+use crate::json::event_to_json;
+use crate::observer::EventSink;
+use std::io::Write;
+
+/// Writes each event as one JSON line to an arbitrary writer.
+///
+/// Lines have the shape
+/// `{"cycle": N, "layer": "...", "kind": "...", ...fields}` — grep-able,
+/// `jq`-able, and stable across runs for a fixed seed.
+pub struct JsonlSink<W: Write + Send> {
+    out: W,
+    written: u64,
+}
+
+impl<W: Write + Send> JsonlSink<W> {
+    /// Wraps a writer. Buffer it yourself (`BufWriter`) for file targets.
+    pub fn new(out: W) -> Self {
+        JsonlSink { out, written: 0 }
+    }
+
+    /// Lines written so far.
+    pub fn written(&self) -> u64 {
+        self.written
+    }
+
+    /// Consumes the sink, returning the writer.
+    pub fn into_inner(self) -> W {
+        self.out
+    }
+}
+
+impl<W: Write + Send> EventSink for JsonlSink<W> {
+    fn record(&mut self, cycle: u64, event: &SimEvent) {
+        // I/O errors intentionally do not abort the simulation; they
+        // surface as a short file, which downstream tooling detects.
+        let _ = writeln!(self.out, "{}", event_to_json(cycle, event));
+        self.written += 1;
+    }
+
+    fn finish(&mut self) {
+        let _ = self.out.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{CacheLevel, SimEvent};
+
+    #[test]
+    fn one_line_per_event() {
+        let mut sink = JsonlSink::new(Vec::new());
+        sink.record(1, &SimEvent::DramWriteback { line: 2 });
+        sink.record(
+            5,
+            &SimEvent::Fill {
+                core: 0,
+                line: 3,
+                level: CacheLevel::L1,
+                spec: false,
+            },
+        );
+        sink.finish();
+        assert_eq!(sink.written(), 2);
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"kind\": \"dram-writeback\""));
+        assert!(lines[1].contains("\"cycle\": 5"));
+    }
+}

@@ -1,0 +1,45 @@
+//! Cross-layer observability for the CleanupSpec simulator.
+//!
+//! Every layer of the simulated machine — pipeline, cache hierarchy, MSHR
+//! file, CleanupSpec undo engine, DRAM — emits structured [`SimEvent`]s
+//! through a shared [`Observer`] handle. The observer is a zero-cost
+//! `Option` check when no sink is attached, so instrumented hot paths pay
+//! one predictable branch in the common (disabled) case.
+//!
+//! Sinks implement [`EventSink`] and can be combined freely:
+//!
+//! * [`RingSink`] — a bounded in-memory ring buffer for test assertions
+//!   and interactive dumps (subsumes the old core-local `TraceBuffer`).
+//! * [`JsonlSink`] — streams one JSON object per event to any writer.
+//! * [`PerfettoSink`] — renders the run as Chrome trace-event JSON that
+//!   `chrome://tracing` and [Perfetto](https://ui.perfetto.dev) load
+//!   directly.
+//! * [`LeakageAuditSink`] — correlates speculative fills, squashes, and
+//!   cleanup operations to verify the paper's core invariant at runtime:
+//!   after a squash, no speculation-attributable cache state survives.
+//!
+//! This crate sits at the bottom of the workspace (no dependencies, not
+//! even on `cleanupspec-mem`), so events carry primitive field types:
+//! core indices are `usize`, cache-line addresses are the `u64` line
+//! number (byte address divided by the 64-byte line size).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod audit;
+pub mod event;
+pub mod histogram;
+pub mod json;
+pub mod jsonl;
+pub mod observer;
+pub mod perfetto;
+pub mod ring;
+
+pub use audit::{AuditReport, AuditResidue, LeakageAuditSink, ResidueKind};
+pub use event::{CacheLevel, FieldValue, Layer, PathKind, SimEvent};
+pub use histogram::Histogram;
+pub use json::JsonWriter;
+pub use jsonl::JsonlSink;
+pub use observer::{EventSink, Observer, Shared};
+pub use perfetto::PerfettoSink;
+pub use ring::{EventRecord, RingSink};

@@ -1,0 +1,243 @@
+//! Chrome trace-event / Perfetto exporter.
+//!
+//! Renders the recorded run as the JSON object format accepted by
+//! `chrome://tracing` and <https://ui.perfetto.dev>: a `traceEvents`
+//! array of metadata (`ph: "M"`), complete (`"X"`), instant (`"i"`), and
+//! counter (`"C"`) events. One simulation cycle maps to one microsecond
+//! of trace time (the viewer's native unit), so cycle deltas read
+//! directly off the timeline.
+//!
+//! Track layout: each [`Layer`] is a "process" (pid), each core a
+//! "thread" (tid) within it. Loads and cleanups render as duration slices
+//! (`"X"` with `dur` = latency/stall); everything else is an instant.
+//! MSHR alloc/retire additionally drive an occupancy counter track.
+
+use crate::event::{Layer, SimEvent};
+use crate::json::JsonWriter;
+use crate::observer::EventSink;
+use crate::ring::EventRecord;
+use std::collections::BTreeSet;
+
+fn pid(layer: Layer) -> u64 {
+    match layer {
+        Layer::Pipeline => 1,
+        Layer::Cache => 2,
+        Layer::Mshr => 3,
+        Layer::Cleanup => 4,
+        Layer::Dram => 5,
+    }
+}
+
+/// Accumulates events and renders them as Chrome trace-event JSON.
+#[derive(Debug, Default)]
+pub struct PerfettoSink {
+    events: Vec<EventRecord>,
+}
+
+impl PerfettoSink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        PerfettoSink::default()
+    }
+
+    /// Events captured so far.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether no events were captured.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Renders the full trace as a JSON string.
+    pub fn render(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.open_object(None);
+        w.open_array("traceEvents");
+
+        // Track-naming metadata for every (layer, core) pair that appears.
+        let mut tracks: BTreeSet<(u64, u64)> = BTreeSet::new();
+        for r in &self.events {
+            let layer = r.event.layer();
+            let tid = r.event.core().unwrap_or(0) as u64;
+            tracks.insert((pid(layer), tid));
+        }
+        for layer in Layer::ALL {
+            if tracks.iter().any(|&(p, _)| p == pid(layer)) {
+                w.open_object(None)
+                    .string("ph", "M")
+                    .string("name", "process_name")
+                    .int("pid", pid(layer));
+                w.open_object(Some("args")).string("name", layer.as_str());
+                w.close_object().close_object();
+            }
+        }
+        for &(p, t) in &tracks {
+            w.open_object(None)
+                .string("ph", "M")
+                .string("name", "thread_name")
+                .int("pid", p)
+                .int("tid", t);
+            w.open_object(Some("args"))
+                .string("name", &format!("core{t}"));
+            w.close_object().close_object();
+        }
+
+        for r in &self.events {
+            self.write_event(&mut w, r);
+        }
+        w.close_array();
+        w.string("displayTimeUnit", "ms");
+        w.close_object();
+        w.finish()
+    }
+
+    fn write_event(&self, w: &mut JsonWriter, r: &EventRecord) {
+        let e = &r.event;
+        let layer = e.layer();
+        let tid = e.core().unwrap_or(0) as u64;
+
+        // Duration slices where the span is known at emission time.
+        let dur = match *e {
+            SimEvent::LoadIssue { latency, .. } => Some(latency.max(1)),
+            SimEvent::CleanupStart { stall, .. } => Some(stall.max(1)),
+            _ => None,
+        };
+
+        w.open_object(None)
+            .string("name", e.kind())
+            .string("cat", layer.as_str())
+            .int("pid", pid(layer))
+            .int("tid", tid)
+            .int("ts", r.cycle);
+        match dur {
+            Some(d) => {
+                w.string("ph", "X").int("dur", d);
+            }
+            None => {
+                w.string("ph", "i").string("s", "t");
+            }
+        }
+        w.open_object(Some("args"));
+        for (name, value) in e.fields() {
+            match value {
+                crate::event::FieldValue::U64(v) => w.int(name, v),
+                crate::event::FieldValue::Bool(v) => w.bool(name, v),
+                crate::event::FieldValue::Str(v) => w.string(name, v),
+            };
+        }
+        w.close_object().close_object();
+
+        // Occupancy counter track fed by MSHR lifecycle events.
+        if let SimEvent::MshrAlloc {
+            core, occupancy, ..
+        }
+        | SimEvent::MshrRetire {
+            core, occupancy, ..
+        } = *e
+        {
+            w.open_object(None)
+                .string("name", "mshr_occupancy")
+                .string("ph", "C")
+                .int("pid", pid(Layer::Mshr))
+                .int("tid", core as u64)
+                .int("ts", r.cycle);
+            w.open_object(Some("args")).int("entries", occupancy);
+            w.close_object().close_object();
+        }
+    }
+}
+
+impl EventSink for PerfettoSink {
+    fn record(&mut self, cycle: u64, event: &SimEvent) {
+        self.events.push(EventRecord {
+            cycle,
+            event: *event,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{CacheLevel, PathKind};
+
+    fn sample() -> PerfettoSink {
+        let mut s = PerfettoSink::new();
+        s.record(
+            10,
+            &SimEvent::LoadIssue {
+                core: 0,
+                seq: 1,
+                line: 0x40,
+                path: PathKind::Mem,
+                spec: true,
+                latency: 100,
+            },
+        );
+        s.record(
+            110,
+            &SimEvent::Fill {
+                core: 0,
+                line: 0x40,
+                level: CacheLevel::L1,
+                spec: true,
+            },
+        );
+        s.record(
+            111,
+            &SimEvent::MshrAlloc {
+                core: 0,
+                line: 0x40,
+                spec: true,
+                occupancy: 1,
+            },
+        );
+        s
+    }
+
+    #[test]
+    fn render_is_balanced_json_with_trace_events() {
+        let j = sample().render();
+        assert!(crate::json::tests::balanced(&j), "{j}");
+        assert!(j.starts_with('{'));
+        assert!(j.contains("\"traceEvents\""));
+    }
+
+    #[test]
+    fn loads_are_complete_events_with_duration() {
+        let j = sample().render();
+        assert!(j.contains("\"ph\": \"X\""), "{j}");
+        assert!(j.contains("\"dur\": 100"), "{j}");
+    }
+
+    #[test]
+    fn instants_carry_scope() {
+        let j = sample().render();
+        assert!(j.contains("\"ph\": \"i\""), "{j}");
+        assert!(j.contains("\"s\": \"t\""), "{j}");
+    }
+
+    #[test]
+    fn metadata_names_layers_and_cores() {
+        let j = sample().render();
+        assert!(j.contains("\"process_name\""), "{j}");
+        assert!(j.contains("\"name\": \"pipeline\""), "{j}");
+        assert!(j.contains("\"name\": \"core0\""), "{j}");
+    }
+
+    #[test]
+    fn mshr_events_feed_a_counter_track() {
+        let j = sample().render();
+        assert!(j.contains("\"ph\": \"C\""), "{j}");
+        assert!(j.contains("\"mshr_occupancy\""), "{j}");
+    }
+
+    #[test]
+    fn empty_trace_still_renders() {
+        let j = PerfettoSink::new().render();
+        assert!(crate::json::tests::balanced(&j), "{j}");
+        assert!(j.contains("\"traceEvents\": []"), "{j}");
+    }
+}

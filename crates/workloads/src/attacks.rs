@@ -78,10 +78,7 @@ pub fn spectre_v1_program(cfg: &SpectreConfig) -> Program {
     let rounds = cfg.train_rounds + 1;
     // xs = [1, 2, ..., train_rounds, malicious_x]
     for i in 0..cfg.train_rounds {
-        b.init_mem(
-            Addr::new(cfg.xs_base + i as u64 * 8),
-            (i as u64 % 5) + 1,
-        );
+        b.init_mem(Addr::new(cfg.xs_base + i as u64 * 8), (i as u64 % 5) + 1);
     }
     b.init_mem(
         Addr::new(cfg.xs_base + cfg.train_rounds as u64 * 8),
@@ -121,8 +118,8 @@ pub fn spectre_v1_program(cfg: &SpectreConfig) -> Program {
     b.fence();
     b.load(r_x, r_xp, 0);
     b.load(r_bound, r_baddr, 0); // DRAM miss: slow
-    // Lengthen the dependence chain so even a slow transient access
-    // completes inside the speculation window.
+                                 // Lengthen the dependence chain so even a slow transient access
+                                 // completes inside the speculation window.
     b.alu(r_bound, AluOp::Mul, Operand::Reg(r_bound), Operand::Imm(1));
     b.alu(r_bound, AluOp::Mul, Operand::Reg(r_bound), Operand::Imm(1));
     b.alu(r_bound, AluOp::Mul, Operand::Reg(r_bound), Operand::Imm(1));
@@ -133,10 +130,20 @@ pub fn spectre_v1_program(cfg: &SpectreConfig) -> Program {
     let access = b.here();
     b.patch_branch(check, access);
     b.alu(r_a1, AluOp::Shl, Operand::Reg(r_x), Operand::Imm(3));
-    b.alu(r_a1, AluOp::Add, Operand::Reg(r_a1), Operand::Imm(cfg.array1_base as i64));
+    b.alu(
+        r_a1,
+        AluOp::Add,
+        Operand::Reg(r_a1),
+        Operand::Imm(cfg.array1_base as i64),
+    );
     b.load(r_sec, r_a1, 0); // array1[x] — the secret, transiently
     b.alu(r_a2, AluOp::Mul, Operand::Reg(r_sec), Operand::Imm(512));
-    b.alu(r_a2, AluOp::Add, Operand::Reg(r_a2), Operand::Imm(cfg.array2_base as i64));
+    b.alu(
+        r_a2,
+        AluOp::Add,
+        Operand::Reg(r_a2),
+        Operand::Imm(cfg.array2_base as i64),
+    );
     b.load(r_sink, r_a2, 0); // array2[secret * 512] — the transmission
     let next = b.here();
     b.patch_branch(out_of_bounds, next);
@@ -245,9 +252,14 @@ pub fn meltdown_program(cfg: &MeltdownConfig) -> Program {
     let r_sink = Reg(5);
     b.movi(r_p, cfg.secret_addr);
     b.load(r_sec, r_p, 0); // illegal: faults at commit
-    // Transient dependents (the race the attack wins):
+                           // Transient dependents (the race the attack wins):
     b.alu(r_a2, AluOp::Mul, Operand::Reg(r_sec), Operand::Imm(512));
-    b.alu(r_a2, AluOp::Add, Operand::Reg(r_a2), Operand::Imm(cfg.array2_base as i64));
+    b.alu(
+        r_a2,
+        AluOp::Add,
+        Operand::Reg(r_a2),
+        Operand::Imm(cfg.array2_base as i64),
+    );
     b.load(r_sink, r_a2, 0); // transmit through the cache
     b.halt();
     let handler = b.here();
@@ -540,7 +552,9 @@ mod tests {
         let cfg = MeltdownConfig::default();
         let mut p = meltdown_program(&cfg);
         p.fault_handler = None;
-        let mut sim = SimBuilder::new(SecurityMode::CleanupSpec).program(p).build();
+        let mut sim = SimBuilder::new(SecurityMode::CleanupSpec)
+            .program(p)
+            .build();
         let reason = sim.run(cleanupspec_core::system::RunLimits {
             max_cycles: 200_000,
             max_insts_per_core: u64::MAX,

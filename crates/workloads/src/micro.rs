@@ -12,7 +12,12 @@ pub fn load_stream(base: u64, stride: u64, n: usize) -> Program {
     b.init_reg(r_a, base);
     for _ in 0..n {
         b.load(r_s, r_a, 0);
-        b.alu(r_a, AluOp::Add, Operand::Reg(r_a), Operand::Imm(stride as i64));
+        b.alu(
+            r_a,
+            AluOp::Add,
+            Operand::Reg(r_a),
+            Operand::Imm(stride as i64),
+        );
     }
     b.halt();
     b.build()
@@ -75,7 +80,12 @@ pub fn mispredict_storm(iters: u64, block_loads: usize, seed: u64) -> Program {
     let skip = b.here();
     b.patch_branch(br, skip);
     b.alu(r_ptr, AluOp::Add, Operand::Reg(r_ptr), Operand::Imm(8));
-    b.alu(r_ptr, AluOp::And, Operand::Reg(r_ptr), Operand::Imm((outcome_base + (words - 1) * 8) as i64));
+    b.alu(
+        r_ptr,
+        AluOp::And,
+        Operand::Reg(r_ptr),
+        Operand::Imm((outcome_base + (words - 1) * 8) as i64),
+    );
     b.alu(r_i, AluOp::Sub, Operand::Reg(r_i), Operand::Imm(1));
     b.branch(r_i, BranchCond::NotZero, top);
     b.halt();
@@ -122,7 +132,11 @@ mod tests {
         sim.run_to_completion();
         let r = sim.report();
         // Each chased miss costs ~ full memory latency; IPC must be tiny.
-        assert!(r.ipc() < 0.5, "chase should be latency-bound, ipc={}", r.ipc());
+        assert!(
+            r.ipc() < 0.5,
+            "chase should be latency-bound, ipc={}",
+            r.ipc()
+        );
     }
 
     #[test]

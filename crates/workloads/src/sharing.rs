@@ -35,30 +35,168 @@ pub struct SharingWorkload {
 /// The 23 multi-threaded workloads characterized in Figure 9.
 pub const SHARING_WORKLOADS: [SharingWorkload; 23] = [
     // PARSEC
-    SharingWorkload { name: "blackscholes",  lock_period: 0,  shared_reads: 1, private_reads: 4, dram_stride: 6 },
-    SharingWorkload { name: "bodytrack",     lock_period: 9, shared_reads: 2, private_reads: 3, dram_stride: 4 },
-    SharingWorkload { name: "facesim",       lock_period: 16, shared_reads: 2, private_reads: 3, dram_stride: 8 },
-    SharingWorkload { name: "dedup",         lock_period: 4, shared_reads: 1, private_reads: 3, dram_stride: 10 },
-    SharingWorkload { name: "fluidanimate",  lock_period: 3,  shared_reads: 1, private_reads: 3, dram_stride: 6 },
-    SharingWorkload { name: "canneal",       lock_period: 12, shared_reads: 1, private_reads: 2, dram_stride: 40 },
-    SharingWorkload { name: "raytrace",      lock_period: 20, shared_reads: 3, private_reads: 3, dram_stride: 2 },
-    SharingWorkload { name: "streamcluster", lock_period: 6, shared_reads: 2, private_reads: 2, dram_stride: 24 },
-    SharingWorkload { name: "swaptions",     lock_period: 0,  shared_reads: 1, private_reads: 5, dram_stride: 2 },
-    SharingWorkload { name: "vips",          lock_period: 8, shared_reads: 2, private_reads: 3, dram_stride: 6 },
+    SharingWorkload {
+        name: "blackscholes",
+        lock_period: 0,
+        shared_reads: 1,
+        private_reads: 4,
+        dram_stride: 6,
+    },
+    SharingWorkload {
+        name: "bodytrack",
+        lock_period: 9,
+        shared_reads: 2,
+        private_reads: 3,
+        dram_stride: 4,
+    },
+    SharingWorkload {
+        name: "facesim",
+        lock_period: 16,
+        shared_reads: 2,
+        private_reads: 3,
+        dram_stride: 8,
+    },
+    SharingWorkload {
+        name: "dedup",
+        lock_period: 4,
+        shared_reads: 1,
+        private_reads: 3,
+        dram_stride: 10,
+    },
+    SharingWorkload {
+        name: "fluidanimate",
+        lock_period: 3,
+        shared_reads: 1,
+        private_reads: 3,
+        dram_stride: 6,
+    },
+    SharingWorkload {
+        name: "canneal",
+        lock_period: 12,
+        shared_reads: 1,
+        private_reads: 2,
+        dram_stride: 40,
+    },
+    SharingWorkload {
+        name: "raytrace",
+        lock_period: 20,
+        shared_reads: 3,
+        private_reads: 3,
+        dram_stride: 2,
+    },
+    SharingWorkload {
+        name: "streamcluster",
+        lock_period: 6,
+        shared_reads: 2,
+        private_reads: 2,
+        dram_stride: 24,
+    },
+    SharingWorkload {
+        name: "swaptions",
+        lock_period: 0,
+        shared_reads: 1,
+        private_reads: 5,
+        dram_stride: 2,
+    },
+    SharingWorkload {
+        name: "vips",
+        lock_period: 8,
+        shared_reads: 2,
+        private_reads: 3,
+        dram_stride: 6,
+    },
     // SPLASH-2
-    SharingWorkload { name: "barnes",        lock_period: 4, shared_reads: 2, private_reads: 3, dram_stride: 6 },
-    SharingWorkload { name: "fmm",           lock_period: 10, shared_reads: 2, private_reads: 3, dram_stride: 4 },
-    SharingWorkload { name: "ocean.cont",    lock_period: 7, shared_reads: 1, private_reads: 2, dram_stride: 32 },
-    SharingWorkload { name: "ocean.ncont",   lock_period: 6, shared_reads: 1, private_reads: 2, dram_stride: 36 },
-    SharingWorkload { name: "radiosity",     lock_period: 3,  shared_reads: 2, private_reads: 3, dram_stride: 4 },
-    SharingWorkload { name: "volrend",       lock_period: 5, shared_reads: 2, private_reads: 3, dram_stride: 4 },
-    SharingWorkload { name: "water.nsq",     lock_period: 8, shared_reads: 2, private_reads: 3, dram_stride: 4 },
-    SharingWorkload { name: "water.sp",      lock_period: 12, shared_reads: 2, private_reads: 3, dram_stride: 3 },
-    SharingWorkload { name: "cholesky",      lock_period: 8, shared_reads: 1, private_reads: 3, dram_stride: 12 },
-    SharingWorkload { name: "fft",           lock_period: 24, shared_reads: 1, private_reads: 2, dram_stride: 30 },
-    SharingWorkload { name: "lu.cont",       lock_period: 14, shared_reads: 2, private_reads: 3, dram_stride: 10 },
-    SharingWorkload { name: "lu.ncont",      lock_period: 11, shared_reads: 2, private_reads: 3, dram_stride: 14 },
-    SharingWorkload { name: "radix",         lock_period: 18, shared_reads: 1, private_reads: 2, dram_stride: 28 },
+    SharingWorkload {
+        name: "barnes",
+        lock_period: 4,
+        shared_reads: 2,
+        private_reads: 3,
+        dram_stride: 6,
+    },
+    SharingWorkload {
+        name: "fmm",
+        lock_period: 10,
+        shared_reads: 2,
+        private_reads: 3,
+        dram_stride: 4,
+    },
+    SharingWorkload {
+        name: "ocean.cont",
+        lock_period: 7,
+        shared_reads: 1,
+        private_reads: 2,
+        dram_stride: 32,
+    },
+    SharingWorkload {
+        name: "ocean.ncont",
+        lock_period: 6,
+        shared_reads: 1,
+        private_reads: 2,
+        dram_stride: 36,
+    },
+    SharingWorkload {
+        name: "radiosity",
+        lock_period: 3,
+        shared_reads: 2,
+        private_reads: 3,
+        dram_stride: 4,
+    },
+    SharingWorkload {
+        name: "volrend",
+        lock_period: 5,
+        shared_reads: 2,
+        private_reads: 3,
+        dram_stride: 4,
+    },
+    SharingWorkload {
+        name: "water.nsq",
+        lock_period: 8,
+        shared_reads: 2,
+        private_reads: 3,
+        dram_stride: 4,
+    },
+    SharingWorkload {
+        name: "water.sp",
+        lock_period: 12,
+        shared_reads: 2,
+        private_reads: 3,
+        dram_stride: 3,
+    },
+    SharingWorkload {
+        name: "cholesky",
+        lock_period: 8,
+        shared_reads: 1,
+        private_reads: 3,
+        dram_stride: 12,
+    },
+    SharingWorkload {
+        name: "fft",
+        lock_period: 24,
+        shared_reads: 1,
+        private_reads: 2,
+        dram_stride: 30,
+    },
+    SharingWorkload {
+        name: "lu.cont",
+        lock_period: 14,
+        shared_reads: 2,
+        private_reads: 3,
+        dram_stride: 10,
+    },
+    SharingWorkload {
+        name: "lu.ncont",
+        lock_period: 11,
+        shared_reads: 2,
+        private_reads: 3,
+        dram_stride: 14,
+    },
+    SharingWorkload {
+        name: "radix",
+        lock_period: 18,
+        shared_reads: 1,
+        private_reads: 2,
+        dram_stride: 28,
+    },
 ];
 
 /// Looks up a sharing workload by name.
@@ -122,40 +260,105 @@ impl SharingWorkload {
         let pro_top = b.here();
         b.load(R_SINK, r_pro, 0);
         b.alu(r_pro, AluOp::Add, Operand::Reg(r_pro), Operand::Imm(64));
-        b.alu(R_ADDR, AluOp::Sub, Operand::Reg(r_pro), Operand::Imm((layout::SHARED + layout::SHARED_MASK + 8) as i64));
+        b.alu(
+            R_ADDR,
+            AluOp::Sub,
+            Operand::Reg(r_pro),
+            Operand::Imm((layout::SHARED + layout::SHARED_MASK + 8) as i64),
+        );
         b.branch(R_ADDR, BranchCond::Negative, pro_top);
 
         let loop_top = b.here();
-        b.alu(R_LCG, AluOp::Mul, Operand::Reg(R_LCG), Operand::Imm(6364136223846793005u64 as i64));
-        b.alu(R_LCG, AluOp::Add, Operand::Reg(R_LCG), Operand::Imm(1442695040888963407u64 as i64));
+        b.alu(
+            R_LCG,
+            AluOp::Mul,
+            Operand::Reg(R_LCG),
+            Operand::Imm(6364136223846793005u64 as i64),
+        );
+        b.alu(
+            R_LCG,
+            AluOp::Add,
+            Operand::Reg(R_LCG),
+            Operand::Imm(1442695040888963407u64 as i64),
+        );
         // Keep my mailbox Modified.
         b.movi(R_ADDR, my_mailbox);
         b.store(R_VAL, R_ADDR, 0);
         // Private hot loads.
         for k in 0..self.private_reads {
-            b.alu(R_ADDR, AluOp::Shr, Operand::Reg(R_LCG), Operand::Imm(11 + 7 * k as i64));
-            b.alu(R_ADDR, AluOp::And, Operand::Reg(R_ADDR), Operand::Imm(layout::PRIVATE_MASK as i64));
-            b.alu(R_ADDR, AluOp::Add, Operand::Reg(R_ADDR), Operand::Imm(private_base as i64));
+            b.alu(
+                R_ADDR,
+                AluOp::Shr,
+                Operand::Reg(R_LCG),
+                Operand::Imm(11 + 7 * k as i64),
+            );
+            b.alu(
+                R_ADDR,
+                AluOp::And,
+                Operand::Reg(R_ADDR),
+                Operand::Imm(layout::PRIVATE_MASK as i64),
+            );
+            b.alu(
+                R_ADDR,
+                AluOp::Add,
+                Operand::Reg(R_ADDR),
+                Operand::Imm(private_base as i64),
+            );
             b.load(R_SINK, R_ADDR, 0);
         }
         // Read-only shared loads (Shared state everywhere -> safe).
         for k in 0..self.shared_reads {
-            b.alu(R_ADDR, AluOp::Shr, Operand::Reg(R_LCG), Operand::Imm(17 + 5 * k as i64));
-            b.alu(R_ADDR, AluOp::And, Operand::Reg(R_ADDR), Operand::Imm(layout::SHARED_MASK as i64));
-            b.alu(R_ADDR, AluOp::Add, Operand::Reg(R_ADDR), Operand::Imm(layout::SHARED as i64));
+            b.alu(
+                R_ADDR,
+                AluOp::Shr,
+                Operand::Reg(R_LCG),
+                Operand::Imm(17 + 5 * k as i64),
+            );
+            b.alu(
+                R_ADDR,
+                AluOp::And,
+                Operand::Reg(R_ADDR),
+                Operand::Imm(layout::SHARED_MASK as i64),
+            );
+            b.alu(
+                R_ADDR,
+                AluOp::Add,
+                Operand::Reg(R_ADDR),
+                Operand::Imm(layout::SHARED as i64),
+            );
             b.load(R_SINK, R_ADDR, 0);
         }
         // Streaming DRAM load.
         if self.dram_stride > 0 {
-            b.alu(R_STREAM, AluOp::Add, Operand::Reg(R_STREAM), Operand::Imm(self.dram_stride as i64));
-            b.alu(R_STREAM, AluOp::And, Operand::Reg(R_STREAM), Operand::Imm(layout::STREAM_MASK as i64));
-            b.alu(R_ADDR, AluOp::Add, Operand::Reg(R_STREAM), Operand::Imm(stream_base as i64));
+            b.alu(
+                R_STREAM,
+                AluOp::Add,
+                Operand::Reg(R_STREAM),
+                Operand::Imm(self.dram_stride as i64),
+            );
+            b.alu(
+                R_STREAM,
+                AluOp::And,
+                Operand::Reg(R_STREAM),
+                Operand::Imm(layout::STREAM_MASK as i64),
+            );
+            b.alu(
+                R_ADDR,
+                AluOp::Add,
+                Operand::Reg(R_STREAM),
+                Operand::Imm(stream_base as i64),
+            );
             b.load(R_SINK, R_ADDR, 0);
         }
         // Lock transfer every `lock_period` iterations: read the remote
         // core's Modified mailbox.
         if self.lock_period > 0 {
-            b.alu(R_LOCKCTR, AluOp::Sub, Operand::Reg(R_LOCKCTR), Operand::Imm(1));
+            b.alu(
+                R_LOCKCTR,
+                AluOp::Sub,
+                Operand::Reg(R_LOCKCTR),
+                Operand::Imm(1),
+            );
             let skip_br = b.branch(R_LOCKCTR, BranchCond::NotZero, 0);
             b.movi(R_ADDR, next_mailbox);
             b.load(R_SINK, R_ADDR, 0); // remote-E/M load

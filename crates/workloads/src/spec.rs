@@ -36,9 +36,8 @@
 //! that a squash must clean up, exactly the behaviour CleanupSpec targets.
 
 use cleanupspec_core::isa::{AluOp, BranchCond, Operand, Program, ProgramBuilder, Reg};
+use cleanupspec_mem::rng::{mix_str, SplitMix64};
 use cleanupspec_mem::types::Addr;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Address-space layout of the generated workloads.
 mod layout {
@@ -83,25 +82,158 @@ pub struct SpecWorkload {
 /// The 19 workloads of Table 3, in the paper's order (sorted by branch
 /// misprediction rate, descending).
 pub const SPEC_WORKLOADS: [SpecWorkload; 19] = [
-    SpecWorkload { name: "astar",   paper_mispredict: 0.124, paper_l1_miss: 0.018, dram_share: 0.15, mul_chain: 2, alu_pad: 4 },
-    SpecWorkload { name: "gobmk",   paper_mispredict: 0.119, paper_l1_miss: 0.010, dram_share: 0.25, mul_chain: 1, alu_pad: 4 },
-    SpecWorkload { name: "sjeng",   paper_mispredict: 0.113, paper_l1_miss: 0.002, dram_share: 0.30, mul_chain: 1, alu_pad: 4 },
-    SpecWorkload { name: "bzip2",   paper_mispredict: 0.097, paper_l1_miss: 0.020, dram_share: 0.10, mul_chain: 2, alu_pad: 4 },
-    SpecWorkload { name: "perl",    paper_mispredict: 0.077, paper_l1_miss: 0.005, dram_share: 0.30, mul_chain: 2, alu_pad: 4 },
-    SpecWorkload { name: "povray",  paper_mispredict: 0.075, paper_l1_miss: 0.002, dram_share: 0.30, mul_chain: 2, alu_pad: 4 },
-    SpecWorkload { name: "gromacs", paper_mispredict: 0.068, paper_l1_miss: 0.011, dram_share: 0.15, mul_chain: 3, alu_pad: 4 },
-    SpecWorkload { name: "h264",    paper_mispredict: 0.054, paper_l1_miss: 0.005, dram_share: 0.25, mul_chain: 2, alu_pad: 4 },
-    SpecWorkload { name: "namd",    paper_mispredict: 0.042, paper_l1_miss: 0.003, dram_share: 0.15, mul_chain: 3, alu_pad: 5 },
-    SpecWorkload { name: "sphinx3", paper_mispredict: 0.041, paper_l1_miss: 0.040, dram_share: 0.30, mul_chain: 3, alu_pad: 4 },
-    SpecWorkload { name: "wrf",     paper_mispredict: 0.022, paper_l1_miss: 0.005, dram_share: 0.50, mul_chain: 2, alu_pad: 5 },
-    SpecWorkload { name: "hmmer",   paper_mispredict: 0.019, paper_l1_miss: 0.002, dram_share: 0.25, mul_chain: 4, alu_pad: 6 },
-    SpecWorkload { name: "mcf",     paper_mispredict: 0.016, paper_l1_miss: 0.025, dram_share: 0.60, mul_chain: 5, alu_pad: 4 },
-    SpecWorkload { name: "soplex",  paper_mispredict: 0.015, paper_l1_miss: 0.059, dram_share: 0.50, mul_chain: 4, alu_pad: 4 },
-    SpecWorkload { name: "gcc",     paper_mispredict: 0.013, paper_l1_miss: 0.001, dram_share: 0.40, mul_chain: 2, alu_pad: 5 },
-    SpecWorkload { name: "lbm",     paper_mispredict: 0.003, paper_l1_miss: 0.110, dram_share: 0.85, mul_chain: 5, alu_pad: 3 },
-    SpecWorkload { name: "cactus",  paper_mispredict: 0.001, paper_l1_miss: 0.009, dram_share: 0.50, mul_chain: 4, alu_pad: 5 },
-    SpecWorkload { name: "milc",    paper_mispredict: 0.000, paper_l1_miss: 0.046, dram_share: 0.70, mul_chain: 5, alu_pad: 4 },
-    SpecWorkload { name: "libq",    paper_mispredict: 0.000, paper_l1_miss: 0.104, dram_share: 0.80, mul_chain: 3, alu_pad: 3 },
+    SpecWorkload {
+        name: "astar",
+        paper_mispredict: 0.124,
+        paper_l1_miss: 0.018,
+        dram_share: 0.15,
+        mul_chain: 2,
+        alu_pad: 4,
+    },
+    SpecWorkload {
+        name: "gobmk",
+        paper_mispredict: 0.119,
+        paper_l1_miss: 0.010,
+        dram_share: 0.25,
+        mul_chain: 1,
+        alu_pad: 4,
+    },
+    SpecWorkload {
+        name: "sjeng",
+        paper_mispredict: 0.113,
+        paper_l1_miss: 0.002,
+        dram_share: 0.30,
+        mul_chain: 1,
+        alu_pad: 4,
+    },
+    SpecWorkload {
+        name: "bzip2",
+        paper_mispredict: 0.097,
+        paper_l1_miss: 0.020,
+        dram_share: 0.10,
+        mul_chain: 2,
+        alu_pad: 4,
+    },
+    SpecWorkload {
+        name: "perl",
+        paper_mispredict: 0.077,
+        paper_l1_miss: 0.005,
+        dram_share: 0.30,
+        mul_chain: 2,
+        alu_pad: 4,
+    },
+    SpecWorkload {
+        name: "povray",
+        paper_mispredict: 0.075,
+        paper_l1_miss: 0.002,
+        dram_share: 0.30,
+        mul_chain: 2,
+        alu_pad: 4,
+    },
+    SpecWorkload {
+        name: "gromacs",
+        paper_mispredict: 0.068,
+        paper_l1_miss: 0.011,
+        dram_share: 0.15,
+        mul_chain: 3,
+        alu_pad: 4,
+    },
+    SpecWorkload {
+        name: "h264",
+        paper_mispredict: 0.054,
+        paper_l1_miss: 0.005,
+        dram_share: 0.25,
+        mul_chain: 2,
+        alu_pad: 4,
+    },
+    SpecWorkload {
+        name: "namd",
+        paper_mispredict: 0.042,
+        paper_l1_miss: 0.003,
+        dram_share: 0.15,
+        mul_chain: 3,
+        alu_pad: 5,
+    },
+    SpecWorkload {
+        name: "sphinx3",
+        paper_mispredict: 0.041,
+        paper_l1_miss: 0.040,
+        dram_share: 0.30,
+        mul_chain: 3,
+        alu_pad: 4,
+    },
+    SpecWorkload {
+        name: "wrf",
+        paper_mispredict: 0.022,
+        paper_l1_miss: 0.005,
+        dram_share: 0.50,
+        mul_chain: 2,
+        alu_pad: 5,
+    },
+    SpecWorkload {
+        name: "hmmer",
+        paper_mispredict: 0.019,
+        paper_l1_miss: 0.002,
+        dram_share: 0.25,
+        mul_chain: 4,
+        alu_pad: 6,
+    },
+    SpecWorkload {
+        name: "mcf",
+        paper_mispredict: 0.016,
+        paper_l1_miss: 0.025,
+        dram_share: 0.60,
+        mul_chain: 5,
+        alu_pad: 4,
+    },
+    SpecWorkload {
+        name: "soplex",
+        paper_mispredict: 0.015,
+        paper_l1_miss: 0.059,
+        dram_share: 0.50,
+        mul_chain: 4,
+        alu_pad: 4,
+    },
+    SpecWorkload {
+        name: "gcc",
+        paper_mispredict: 0.013,
+        paper_l1_miss: 0.001,
+        dram_share: 0.40,
+        mul_chain: 2,
+        alu_pad: 5,
+    },
+    SpecWorkload {
+        name: "lbm",
+        paper_mispredict: 0.003,
+        paper_l1_miss: 0.110,
+        dram_share: 0.85,
+        mul_chain: 5,
+        alu_pad: 3,
+    },
+    SpecWorkload {
+        name: "cactus",
+        paper_mispredict: 0.001,
+        paper_l1_miss: 0.009,
+        dram_share: 0.50,
+        mul_chain: 4,
+        alu_pad: 5,
+    },
+    SpecWorkload {
+        name: "milc",
+        paper_mispredict: 0.000,
+        paper_l1_miss: 0.046,
+        dram_share: 0.70,
+        mul_chain: 5,
+        alu_pad: 4,
+    },
+    SpecWorkload {
+        name: "libq",
+        paper_mispredict: 0.000,
+        paper_l1_miss: 0.104,
+        dram_share: 0.80,
+        mul_chain: 3,
+        alu_pad: 3,
+    },
 ];
 
 /// Looks up a workload by name.
@@ -189,21 +321,44 @@ fn build_spec_program(w: &SpecWorkload, seed: u64) -> Program {
     let mut b = ProgramBuilder::new(w.name);
     b.init_reg(R_ITER, u64::MAX / 2); // effectively infinite loop
     b.init_reg(R_LCG, seed | 1);
-    // Outcome table: Bernoulli(q), seeded.
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x5bec);
+    // Outcome table: Bernoulli(q), seeded. The coin compares 53 uniform
+    // bits against q, matching `rand`'s gen_bool construction but driven
+    // by the workspace SplitMix64 so builds are registry-free.
+    let mut rng = SplitMix64::new(seed ^ 0x5bec);
+    let q_scaled = (q * (1u64 << 53) as f64) as u64;
     for i in 0..layout::OUTCOME_WORDS {
-        let v = u64::from(rng.gen_bool(q));
+        let v = u64::from((rng.next_u64() >> 11) < q_scaled);
         b.init_mem(Addr::new(layout::OUTCOMES + i * 8), v);
     }
 
     let loop_top = b.here();
     // --- per-iteration randomness ---
-    b.alu(R_LCG, AluOp::Mul, Operand::Reg(R_LCG), Operand::Imm(LCG_A as i64));
-    b.alu(R_LCG, AluOp::Add, Operand::Reg(R_LCG), Operand::Imm(LCG_C as i64));
+    b.alu(
+        R_LCG,
+        AluOp::Mul,
+        Operand::Reg(R_LCG),
+        Operand::Imm(LCG_A as i64),
+    );
+    b.alu(
+        R_LCG,
+        AluOp::Add,
+        Operand::Reg(R_LCG),
+        Operand::Imm(LCG_C as i64),
+    );
     // --- branch-outcome load (hot) ---
     b.alu(R_TMP, AluOp::Shr, Operand::Reg(R_LCG), Operand::Imm(30));
-    b.alu(R_TMP, AluOp::And, Operand::Reg(R_TMP), Operand::Imm(((layout::OUTCOME_WORDS - 1) * 8) as i64));
-    b.alu(R_TMP, AluOp::Add, Operand::Reg(R_TMP), Operand::Imm(layout::OUTCOMES as i64));
+    b.alu(
+        R_TMP,
+        AluOp::And,
+        Operand::Reg(R_TMP),
+        Operand::Imm(((layout::OUTCOME_WORDS - 1) * 8) as i64),
+    );
+    b.alu(
+        R_TMP,
+        AluOp::Add,
+        Operand::Reg(R_TMP),
+        Operand::Imm(layout::OUTCOMES as i64),
+    );
     b.load(R_OUT, R_TMP, 0);
     // --- resolution-delay chain ---
     b.alu(R_CHAIN, AluOp::Mul, Operand::Reg(R_OUT), Operand::Imm(1));
@@ -216,44 +371,120 @@ fn build_spec_program(w: &SpecWorkload, seed: u64) -> Program {
     // Branch-free coin: s = ((bits - T) >> 63) is 1 when bits < T; the
     // random offset is then kept (mask = 0 - s) or zeroed.
     let coin_load = |b: &mut ProgramBuilder,
-                         threshold: u64,
-                         coin_shift: i64,
-                         off_shift: i64,
-                         region_mask: u64,
-                         region_base: u64,
-                         sink: Reg| {
+                     threshold: u64,
+                     coin_shift: i64,
+                     off_shift: i64,
+                     region_mask: u64,
+                     region_base: u64,
+                     sink: Reg| {
         if threshold == 0 {
             return;
         }
-        b.alu(R_COIN, AluOp::Shr, Operand::Reg(R_LCG), Operand::Imm(coin_shift));
+        b.alu(
+            R_COIN,
+            AluOp::Shr,
+            Operand::Reg(R_LCG),
+            Operand::Imm(coin_shift),
+        );
         b.alu(R_COIN, AluOp::And, Operand::Reg(R_COIN), Operand::Imm(0xFF));
-        b.alu(R_COIN, AluOp::Sub, Operand::Reg(R_COIN), Operand::Imm(threshold as i64));
+        b.alu(
+            R_COIN,
+            AluOp::Sub,
+            Operand::Reg(R_COIN),
+            Operand::Imm(threshold as i64),
+        );
         b.alu(R_COIN, AluOp::Shr, Operand::Reg(R_COIN), Operand::Imm(63));
         b.alu(R_MASK, AluOp::Sub, Operand::Imm(0), Operand::Reg(R_COIN));
-        b.alu(R_ADDR, AluOp::Shr, Operand::Reg(R_LCG), Operand::Imm(off_shift));
-        b.alu(R_ADDR, AluOp::And, Operand::Reg(R_ADDR), Operand::Imm(region_mask as i64));
-        b.alu(R_ADDR, AluOp::And, Operand::Reg(R_ADDR), Operand::Reg(R_MASK));
-        b.alu(R_ADDR, AluOp::Add, Operand::Reg(R_ADDR), Operand::Imm(region_base as i64));
+        b.alu(
+            R_ADDR,
+            AluOp::Shr,
+            Operand::Reg(R_LCG),
+            Operand::Imm(off_shift),
+        );
+        b.alu(
+            R_ADDR,
+            AluOp::And,
+            Operand::Reg(R_ADDR),
+            Operand::Imm(region_mask as i64),
+        );
+        b.alu(
+            R_ADDR,
+            AluOp::And,
+            Operand::Reg(R_ADDR),
+            Operand::Reg(R_MASK),
+        );
+        b.alu(
+            R_ADDR,
+            AluOp::Add,
+            Operand::Reg(R_ADDR),
+            Operand::Imm(region_base as i64),
+        );
         b.load(sink, R_ADDR, 0);
     };
-    coin_load(&mut b, w.med_threshold(), 40, 9, layout::MED_MASK, layout::MED, R_SINK1);
-    coin_load(&mut b, w.huge_threshold(), 48, 17, layout::HUGE_MASK, layout::HUGE, R_SINK2);
+    coin_load(
+        &mut b,
+        w.med_threshold(),
+        40,
+        9,
+        layout::MED_MASK,
+        layout::MED,
+        R_SINK1,
+    );
+    coin_load(
+        &mut b,
+        w.huge_threshold(),
+        48,
+        17,
+        layout::HUGE_MASK,
+        layout::HUGE,
+        R_SINK2,
+    );
     for k in 0..w.alu_pad / 2 {
-        b.alu(R_PAD, AluOp::Xor, Operand::Reg(R_LCG), Operand::Imm(k as i64));
+        b.alu(
+            R_PAD,
+            AluOp::Xor,
+            Operand::Reg(R_LCG),
+            Operand::Imm(k as i64),
+        );
     }
     // --- common path: hot loads + pad ---
     let skip = b.here();
     b.patch_branch(cond_br, skip);
     b.alu(R_HOT, AluOp::Shr, Operand::Reg(R_LCG), Operand::Imm(13));
-    b.alu(R_HOT, AluOp::And, Operand::Reg(R_HOT), Operand::Imm(layout::HOT_MASK as i64));
-    b.alu(R_HOT, AluOp::Add, Operand::Reg(R_HOT), Operand::Imm(layout::HOT1 as i64));
+    b.alu(
+        R_HOT,
+        AluOp::And,
+        Operand::Reg(R_HOT),
+        Operand::Imm(layout::HOT_MASK as i64),
+    );
+    b.alu(
+        R_HOT,
+        AluOp::Add,
+        Operand::Reg(R_HOT),
+        Operand::Imm(layout::HOT1 as i64),
+    );
     b.load(R_SINK3, R_HOT, 0);
     b.alu(R_HOT, AluOp::Shr, Operand::Reg(R_LCG), Operand::Imm(21));
-    b.alu(R_HOT, AluOp::And, Operand::Reg(R_HOT), Operand::Imm(layout::HOT_MASK as i64));
-    b.alu(R_HOT, AluOp::Add, Operand::Reg(R_HOT), Operand::Imm(layout::HOT2 as i64));
+    b.alu(
+        R_HOT,
+        AluOp::And,
+        Operand::Reg(R_HOT),
+        Operand::Imm(layout::HOT_MASK as i64),
+    );
+    b.alu(
+        R_HOT,
+        AluOp::Add,
+        Operand::Reg(R_HOT),
+        Operand::Imm(layout::HOT2 as i64),
+    );
     b.load(R_SINK4, R_HOT, 0);
     for k in 0..w.alu_pad - w.alu_pad / 2 {
-        b.alu(R_PAD, AluOp::Add, Operand::Reg(R_PAD), Operand::Imm(k as i64));
+        b.alu(
+            R_PAD,
+            AluOp::Add,
+            Operand::Reg(R_PAD),
+            Operand::Imm(k as i64),
+        );
     }
     // --- loop back-edge (predictable) ---
     b.alu(R_ITER, AluOp::Sub, Operand::Reg(R_ITER), Operand::Imm(1));
@@ -266,7 +497,7 @@ fn build_spec_program(w: &SpecWorkload, seed: u64) -> Program {
 pub fn all_spec_programs(seed: u64) -> Vec<(SpecWorkload, Program)> {
     SPEC_WORKLOADS
         .iter()
-        .map(|w| (*w, w.build(seed ^ cleanupspec_mem::rng::mix64(w.name.len() as u64 * 31 + w.name.as_bytes()[0] as u64))))
+        .map(|w| (*w, w.build(seed ^ mix_str(w.name))))
         .collect()
 }
 
@@ -277,8 +508,7 @@ mod tests {
     #[test]
     fn nineteen_workloads_with_unique_names() {
         assert_eq!(SPEC_WORKLOADS.len(), 19);
-        let names: std::collections::HashSet<_> =
-            SPEC_WORKLOADS.iter().map(|w| w.name).collect();
+        let names: std::collections::HashSet<_> = SPEC_WORKLOADS.iter().map(|w| w.name).collect();
         assert_eq!(names.len(), 19);
     }
 

@@ -26,7 +26,10 @@ skip:
 
 fn main() {
     let program = assemble("gadget.s", GADGET).expect("valid assembly");
-    println!("== disassembly (round-tripped) ==\n{}", disassemble(&program));
+    println!(
+        "== disassembly (round-tripped) ==\n{}",
+        disassemble(&program)
+    );
 
     let mut sim = SimBuilder::new(SecurityMode::CleanupSpec)
         .program(program)
@@ -42,8 +45,14 @@ fn main() {
     print!("{}", sim.system().core(0).trace().expect("enabled").dump());
 
     let line = Addr::new(0x123400).line();
-    println!("\ntransient line in L1 after cleanup: {}", sim.mem().l1(CoreId(0)).probe(line).is_some());
-    println!("transient line in L2 after cleanup: {}", sim.mem().l2().probe(line).is_some());
+    println!(
+        "\ntransient line in L1 after cleanup: {}",
+        sim.mem().l1(CoreId(0)).probe(line).is_some()
+    );
+    println!(
+        "transient line in L2 after cleanup: {}",
+        sim.mem().l2().probe(line).is_some()
+    );
 
     println!("\n== JSON report ==");
     println!("{}", report_to_json(&sim.report()));

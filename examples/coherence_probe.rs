@@ -28,7 +28,11 @@ fn main() {
         println!(
             "{:<20} {:>18} {:>16} {:>14}",
             mode.name(),
-            if r.owner_kept_writable { "yes (safe)" } else { "NO (leak)" },
+            if r.owner_kept_writable {
+                "yes (safe)"
+            } else {
+                "NO (leak)"
+            },
             r.gets_safe_refusals,
             r.remote_hits,
         );

@@ -21,25 +21,65 @@ fn demo_program() -> Program {
     b.init_reg(r_lcg, 0x1234_5678_9abc_def1);
     let top = b.here();
     // Pseudo-random value drives a hard-to-predict branch.
-    b.alu(r_lcg, AluOp::Mul, Operand::Reg(r_lcg), Operand::Imm(6364136223846793005u64 as i64));
-    b.alu(r_lcg, AluOp::Add, Operand::Reg(r_lcg), Operand::Imm(1442695040888963407u64 as i64));
+    b.alu(
+        r_lcg,
+        AluOp::Mul,
+        Operand::Reg(r_lcg),
+        Operand::Imm(6364136223846793005u64 as i64),
+    );
+    b.alu(
+        r_lcg,
+        AluOp::Add,
+        Operand::Reg(r_lcg),
+        Operand::Imm(1442695040888963407u64 as i64),
+    );
     b.alu(r_val, AluOp::Shr, Operand::Reg(r_lcg), Operand::Imm(61));
     let br = b.branch(r_val, BranchCond::NotZero, 0);
     // Fall-through block: a slowly streaming load (crosses into a new,
     // missing line every 8th execution), squashed when the branch above
     // mispredicts.
-    b.alu(r_stream, AluOp::Add, Operand::Reg(r_stream), Operand::Imm(8));
-    b.alu(r_addr, AluOp::Add, Operand::Reg(r_stream), Operand::Imm(0x1000_0000));
+    b.alu(
+        r_stream,
+        AluOp::Add,
+        Operand::Reg(r_stream),
+        Operand::Imm(8),
+    );
+    b.alu(
+        r_addr,
+        AluOp::Add,
+        Operand::Reg(r_stream),
+        Operand::Imm(0x1000_0000),
+    );
     b.load(r_val, r_addr, 0);
     let skip = b.here();
     b.patch_branch(br, skip);
     // Common path: two hot loads that always hit.
-    b.alu(r_addr, AluOp::And, Operand::Reg(r_lcg), Operand::Imm(0x1FF8));
-    b.alu(r_addr, AluOp::Add, Operand::Reg(r_addr), Operand::Imm(0x10_0000));
+    b.alu(
+        r_addr,
+        AluOp::And,
+        Operand::Reg(r_lcg),
+        Operand::Imm(0x1FF8),
+    );
+    b.alu(
+        r_addr,
+        AluOp::Add,
+        Operand::Reg(r_addr),
+        Operand::Imm(0x10_0000),
+    );
     b.load(r_val, r_addr, 0);
     b.alu(r_addr, AluOp::Shr, Operand::Reg(r_lcg), Operand::Imm(17));
-    b.alu(r_addr, AluOp::And, Operand::Reg(r_addr), Operand::Imm(0x1FF8));
-    b.alu(r_addr, AluOp::Add, Operand::Reg(r_addr), Operand::Imm(0x20_0000));
+    b.alu(
+        r_addr,
+        AluOp::And,
+        Operand::Reg(r_addr),
+        Operand::Imm(0x1FF8),
+    );
+    b.alu(
+        r_addr,
+        AluOp::Add,
+        Operand::Reg(r_addr),
+        Operand::Imm(0x20_0000),
+    );
     b.load(r_val, r_addr, 0);
     b.alu(r_i, AluOp::Sub, Operand::Reg(r_i), Operand::Imm(1));
     b.branch(r_i, BranchCond::NotZero, top);

@@ -6,7 +6,12 @@ use cleanupspec::modes::SecurityMode;
 use cleanupspec::sim::SimBuilder;
 use cleanupspec_suite::workloads::sharing::{sharing_workload, SHARING_WORKLOADS};
 
-fn run_sharing(name: &str, mode: SecurityMode, insts: u64, seed: u64) -> cleanupspec::sim::Simulator {
+fn run_sharing(
+    name: &str,
+    mode: SecurityMode,
+    insts: u64,
+    seed: u64,
+) -> cleanupspec::sim::Simulator {
     let w = sharing_workload(name).expect("known workload");
     let mut b = SimBuilder::new(mode).seed(seed);
     for p in w.build_all(4, seed) {
@@ -60,7 +65,10 @@ fn lockless_workload_has_fewer_remote_em_than_lock_heavy() {
     };
     let lockless = frac("blackscholes");
     let locky = frac("radiosity");
-    assert!(lockless < 0.02, "lockless remote-E/M share too high: {lockless:.4}");
+    assert!(
+        lockless < 0.02,
+        "lockless remote-E/M share too high: {lockless:.4}"
+    );
     assert!(
         locky > 2.0 * lockless.max(1e-4),
         "lock transfers must dominate: locky={locky:.4} lockless={lockless:.4}"

@@ -44,7 +44,6 @@ fn cross_core_probe_during_window_gets_dummy_miss() {
     // issue a speculative load from core 0 and probe from core 1 before
     // retirement.
     use cleanupspec_mem::hierarchy::{LoadKind, LoadReq};
-    use cleanupspec_mem::mshr::LoadPath;
     use cleanupspec_mem::types::LoadId;
     let line = Addr::new(target).line();
     let now = sim.system().now();
