@@ -235,7 +235,7 @@ impl CleanupSpec {
             }
             if restore_evictions {
                 if let Some(victim) = sefe.l1_evict {
-                    mem.cleanup_restore(info.core, victim);
+                    mem.cleanup_restore(info.core, victim, sefe.l1_evict_dirty);
                     self.stats.restores += 1;
                     ops += 1;
                 }

@@ -108,14 +108,68 @@ impl CacheConfig {
     /// # Panics
     /// Panics if the geometry does not divide into a power-of-two set count.
     pub fn num_sets(&self) -> usize {
+        self.checked_num_sets()
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Validates the geometry and returns the set count.
+    ///
+    /// The set indexers mask with `num_sets - 1`, so a non-power-of-two set
+    /// count would silently alias sets in release builds; this is the
+    /// construction-time check that makes that impossible.
+    ///
+    /// # Errors
+    /// Returns [`GeometryError`] if `ways` is zero, the capacity does not
+    /// divide into whole sets, the set count is not a power of two, or
+    /// `skews` does not divide `ways`.
+    pub fn checked_num_sets(&self) -> Result<usize, GeometryError> {
+        if self.ways == 0 {
+            return Err(GeometryError(format!(
+                "ways must be positive (capacity {} B)",
+                self.capacity_bytes
+            )));
+        }
+        if self.capacity_bytes % (64 * self.ways) != 0 {
+            return Err(GeometryError(format!(
+                "capacity {} B does not divide into whole sets of {} 64-B ways",
+                self.capacity_bytes, self.ways
+            )));
+        }
         let sets = self.capacity_bytes / 64 / self.ways;
-        assert!(
-            sets.is_power_of_two() && sets > 0,
-            "sets must be 2^k, got {sets}"
-        );
-        sets
+        if sets == 0 || !sets.is_power_of_two() {
+            return Err(GeometryError(format!(
+                "sets must be 2^k, got {sets} (capacity {} B, {} ways)",
+                self.capacity_bytes, self.ways
+            )));
+        }
+        if self.skews == 0 || !self.ways.is_multiple_of(self.skews) {
+            return Err(GeometryError(format!(
+                "skews ({}) must divide ways ({})",
+                self.skews, self.ways
+            )));
+        }
+        Ok(sets)
     }
 }
+
+/// Invalid cache geometry detected at construction time (non-power-of-two
+/// set count, zero ways, skews not dividing ways, ...).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GeometryError(String);
+
+impl GeometryError {
+    pub(crate) fn new(msg: String) -> Self {
+        GeometryError(msg)
+    }
+}
+
+impl std::fmt::Display for GeometryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for GeometryError {}
 
 /// A set-associative cache tag array.
 ///
@@ -141,13 +195,18 @@ impl SetAssocCache {
     /// Builds a cache from a configuration.
     ///
     /// # Panics
-    /// Panics if `skews` is zero or does not divide `ways`.
+    /// Panics if the geometry is invalid (see [`CacheConfig::checked_num_sets`]).
     pub fn new(name: &'static str, cfg: CacheConfig) -> Self {
-        let sets = cfg.num_sets();
-        assert!(
-            cfg.skews >= 1 && cfg.ways.is_multiple_of(cfg.skews),
-            "skews must divide ways"
-        );
+        Self::try_new(name, cfg).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Builds a cache, validating the geometry instead of panicking.
+    ///
+    /// # Errors
+    /// Returns [`GeometryError`] for any geometry the indexers cannot
+    /// address correctly (non-power-of-two sets, skews not dividing ways).
+    pub fn try_new(name: &'static str, cfg: CacheConfig) -> Result<Self, GeometryError> {
+        let sets = cfg.checked_num_sets()?;
         // Derive one indexer per skew group. For the CEASER indexer, the
         // groups get independently keyed ciphers (CEASER-S); a modulo
         // indexer is the same for every group (a plain cache).
@@ -160,7 +219,7 @@ impl SetAssocCache {
                 }
             })
             .collect();
-        SetAssocCache {
+        Ok(SetAssocCache {
             sets,
             ways: cfg.ways,
             lines: vec![CacheLine::empty(); sets * cfg.ways],
@@ -169,7 +228,7 @@ impl SetAssocCache {
             skew_rng: crate::rng::SplitMix64::new(cfg.seed ^ 0x51ce),
             indexers,
             name,
-        }
+        })
     }
 
     /// Cache name (for diagnostics).
@@ -390,6 +449,28 @@ impl SetAssocCache {
             .collect();
         v.sort();
         v
+    }
+
+    /// Order-independent digest of the cache contents: tags, MESI states,
+    /// dirty bits, and — via the `data` closure — the data of each resident
+    /// line. The cache stores no data itself (values live in the
+    /// architectural memory), so the caller supplies a per-line data hash.
+    /// Two caches with identical resident lines, states, dirty bits, and
+    /// data hash to the same value regardless of way placement.
+    pub fn content_digest(&self, mut data: impl FnMut(LineAddr) -> u64) -> u64 {
+        let mut lines: Vec<u64> = self
+            .iter_valid()
+            .map(|l| {
+                let mut h = crate::rng::mix64(l.line.raw() ^ 0xD16E_5700_0000_0000);
+                h = crate::rng::mix64(h ^ l.state as u64);
+                h = crate::rng::mix64(h ^ u64::from(l.dirty) << 1);
+                crate::rng::mix64(h ^ data(l.line))
+            })
+            .collect();
+        lines.sort_unstable();
+        lines
+            .into_iter()
+            .fold(0x5EED_D16E_5700_0001, |acc, h| crate::rng::mix64(acc ^ h))
     }
 
     /// Tags a freshly installed line as speculatively installed by `core`.
@@ -640,7 +721,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "skews must divide ways")]
+    #[should_panic(expected = "must divide ways")]
     fn skews_must_divide_ways() {
         let _ = SetAssocCache::new(
             "bad",
@@ -676,5 +757,71 @@ mod tests {
             seed: 0,
         };
         assert_eq!(l2.num_sets(), 2048);
+    }
+
+    #[test]
+    fn non_power_of_two_sets_is_a_construction_error() {
+        // 3 sets x 4 ways: the masking indexers would silently alias sets.
+        let cfg = CacheConfig {
+            capacity_bytes: 3 * 64 * 4,
+            ways: 4,
+            replacement: ReplacementKind::Lru,
+            indexer: Indexer::Modulo,
+            skews: 1,
+            seed: 0,
+        };
+        let err = cfg.checked_num_sets().unwrap_err();
+        assert!(err.to_string().contains("2^k"), "got: {err}");
+        assert!(SetAssocCache::try_new("bad", cfg).is_err());
+    }
+
+    #[test]
+    fn ragged_capacity_is_a_construction_error() {
+        let cfg = CacheConfig {
+            capacity_bytes: 64 * 4 + 32, // not a whole number of lines
+            ways: 4,
+            replacement: ReplacementKind::Lru,
+            indexer: Indexer::Modulo,
+            skews: 1,
+            seed: 0,
+        };
+        assert!(cfg.checked_num_sets().is_err());
+        let zero_ways = CacheConfig { ways: 0, ..cfg };
+        assert!(zero_ways.checked_num_sets().is_err());
+    }
+
+    #[test]
+    fn content_digest_is_placement_independent() {
+        // Same lines installed in different orders (different LRU / way
+        // placement) must produce identical digests.
+        let mut a = small_cache(ReplacementKind::Lru);
+        let mut b = small_cache(ReplacementKind::Lru);
+        // 0 and 4 share a set; swapping install order swaps their ways.
+        for l in [0u64, 4, 1] {
+            a.install(LineAddr::new(l), Mesi::Shared, false, None);
+        }
+        for l in [4u64, 0, 1] {
+            b.install(LineAddr::new(l), Mesi::Shared, false, None);
+        }
+        let data = |l: LineAddr| l.raw().wrapping_mul(0x9E37);
+        assert_eq!(a.content_digest(data), b.content_digest(data));
+    }
+
+    #[test]
+    fn content_digest_sees_state_dirty_and_data() {
+        let mut a = small_cache(ReplacementKind::Lru);
+        a.install(LineAddr::new(4), Mesi::Modified, true, None);
+        let mut b = small_cache(ReplacementKind::Lru);
+        b.install(LineAddr::new(4), Mesi::Modified, false, None);
+        let data = |l: LineAddr| l.raw();
+        assert_ne!(a.content_digest(data), b.content_digest(data), "dirty bit");
+        let mut c = small_cache(ReplacementKind::Lru);
+        c.install(LineAddr::new(4), Mesi::Shared, true, None);
+        assert_ne!(a.content_digest(data), c.content_digest(data), "state");
+        assert_ne!(
+            a.content_digest(|l| l.raw()),
+            a.content_digest(|l| l.raw() ^ 1),
+            "data"
+        );
     }
 }

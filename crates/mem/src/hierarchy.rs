@@ -28,7 +28,7 @@
 //! Section 3.5), and whether fills are tagged for speculation-window
 //! protection (Section 3.6).
 
-use crate::cache::{CacheConfig, Evicted, Mesi, SetAssocCache};
+use crate::cache::{CacheConfig, Evicted, GeometryError, Mesi, SetAssocCache};
 use crate::ceaser::Indexer;
 use crate::dram::Dram;
 use crate::mshr::{LoadPath, MshrEntry, MshrFile, MshrFullError, MshrState, MshrToken, SefeRecord};
@@ -241,12 +241,29 @@ impl MemHierarchy {
     ///
     /// # Panics
     /// Panics if `num_cores` is 0 or exceeds 64, or if cache geometry is
-    /// not a power of two.
+    /// not a power of two (see [`MemHierarchy::try_new`]).
     pub fn new(cfg: MemConfig) -> Self {
-        assert!(cfg.num_cores >= 1 && cfg.num_cores <= 64, "1..=64 cores");
+        Self::try_new(cfg).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Builds the hierarchy, validating the configuration instead of
+    /// panicking. The set indexers mask with `num_sets - 1`, so geometry
+    /// errors caught here would otherwise silently alias cache sets in
+    /// release builds.
+    ///
+    /// # Errors
+    /// Returns [`GeometryError`] if the core count is outside `1..=64` or
+    /// either cache level has an invalid geometry.
+    pub fn try_new(cfg: MemConfig) -> Result<Self, GeometryError> {
+        if cfg.num_cores < 1 || cfg.num_cores > 64 {
+            return Err(GeometryError::new(format!(
+                "num_cores must be in 1..=64, got {}",
+                cfg.num_cores
+            )));
+        }
         let l1 = (0..cfg.num_cores)
             .map(|c| {
-                SetAssocCache::new(
+                SetAssocCache::try_new(
                     "l1d",
                     CacheConfig {
                         capacity_bytes: cfg.l1_capacity,
@@ -258,13 +275,13 @@ impl MemHierarchy {
                     },
                 )
             })
-            .collect();
+            .collect::<Result<Vec<_>, _>>()?;
         let l2_indexer = if cfg.l2_randomized {
             Indexer::ceaser(cfg.seed ^ 0xCEA5_E000)
         } else {
             Indexer::Modulo
         };
-        let l2 = SetAssocCache::new(
+        let l2 = SetAssocCache::try_new(
             "l2",
             CacheConfig {
                 capacity_bytes: cfg.l2_capacity,
@@ -274,11 +291,11 @@ impl MemHierarchy {
                 skews: cfg.l2_skews,
                 seed: cfg.seed ^ 0x12,
             },
-        );
+        )?;
         let mshr = (0..cfg.num_cores)
             .map(|c| MshrFile::new(CoreId(c), cfg.mshrs_per_core))
             .collect();
-        MemHierarchy {
+        Ok(MemHierarchy {
             dram: Dram::new(cfg.dram_rt),
             epoch: vec![EpochId::zero(); cfg.num_cores],
             l1,
@@ -290,7 +307,7 @@ impl MemHierarchy {
             obs: Observer::disabled(),
             now_hint: 0,
             cfg,
-        }
+        })
     }
 
     /// Attaches the event-bus observer, propagating it to every MSHR file.
@@ -353,6 +370,19 @@ impl MemHierarchy {
     /// Canonical snapshot of the L2.
     pub fn l2_snapshot(&self) -> Vec<(LineAddr, Mesi, bool)> {
         self.l2.snapshot()
+    }
+
+    /// Order-independent content digest of one core's L1 (tags + MESI +
+    /// dirty bits + per-line data supplied by `data`). Two caches with the
+    /// same resident lines, states, and data hash identically regardless of
+    /// physical placement — the cache-restoration oracle compares these.
+    pub fn l1_digest(&self, core: CoreId, data: impl FnMut(LineAddr) -> u64) -> u64 {
+        self.l1[core.index()].content_digest(data)
+    }
+
+    /// Order-independent content digest of the shared L2 (see [`Self::l1_digest`]).
+    pub fn l2_digest(&self, data: impl FnMut(LineAddr) -> u64) -> u64 {
+        self.l2.content_digest(data)
     }
 
     /// Read-only view of a core's L1 (diagnostics).
@@ -770,6 +800,7 @@ impl MemHierarchy {
             );
             if let Some(v) = evicted {
                 rec.l1_evict = Some(v.line);
+                rec.l1_evict_dirty = v.dirty;
                 self.stats.l1_evictions += 1;
                 self.handle_l1_eviction(core, v, tag.map(|_| line));
             }
@@ -1133,8 +1164,15 @@ impl MemHierarchy {
     /// CleanupSpec restoration of a line evicted from `core`'s L1 by a
     /// squashed install (Section 3.4): re-fetch it from the L2 (or DRAM if
     /// the L2 lost it meanwhile) and install it with a coherence state
-    /// consistent with the directory.
-    pub fn cleanup_restore(&mut self, core: CoreId, line: LineAddr) {
+    /// consistent with the directory. `was_dirty` is the victim's dirty bit
+    /// at eviction time (from the SEFE record): if this core is still the
+    /// sole holder, the line returns Modified + dirty and the writeback the
+    /// eviction pushed down is rescinded, so the restored L1 *and* L2 state
+    /// equal the pre-speculation ones. If the line was picked up or updated
+    /// by another core in between, the restore falls back to a clean Shared
+    /// copy — the dirty data is already safe below, and reclaiming
+    /// ownership would violate single-writer.
+    pub fn cleanup_restore(&mut self, core: CoreId, line: LineAddr, was_dirty: bool) {
         self.stats.cleanup_restores += 1;
         self.traffic.add(MsgClass::Cleanup, 2);
         let ci = core.index();
@@ -1172,14 +1210,26 @@ impl MemHierarchy {
             }
         }
         let d = self.dir.entry(line).or_default();
-        let state = if d.sharer_count() == 0 && d.owner.is_none() {
+        let sole_holder = d.sharer_count() == 0 && d.owner.is_none();
+        let (state, dirty) = if sole_holder {
             d.owner = Some(core);
-            Mesi::Exclusive
+            if was_dirty {
+                (Mesi::Modified, true)
+            } else {
+                (Mesi::Exclusive, false)
+            }
         } else {
-            Mesi::Shared
+            (Mesi::Shared, false)
         };
         d.add(core);
-        let evicted = self.l1[ci].install(line, state, false, None);
+        if dirty {
+            // The eviction's writeback is undone: the dirty data moves back
+            // up into the restored L1 copy, exactly as before the squash.
+            if let Some(l2l) = self.l2.probe_mut(line) {
+                l2l.dirty = false;
+            }
+        }
+        let evicted = self.l1[ci].install(line, state, dirty, None);
         self.obs.emit(
             self.now_hint,
             SimEvent::Fill {
@@ -1417,11 +1467,82 @@ mod tests {
         // Undo in reverse order: invalidate install, restore victim if any.
         m.cleanup_invalidate(CoreId(0), attacker, rec.l1_fill, rec.l2_fill);
         if let Some(v) = rec.l1_evict {
-            m.cleanup_restore(CoreId(0), v);
+            m.cleanup_restore(CoreId(0), v, rec.l1_evict_dirty);
         }
         let after = m.l1_snapshot(CoreId(0));
         assert_eq!(before, after, "L1 state fully rolled back");
         assert!(out.complete_at > 1000);
+        m.check_invariants().unwrap();
+    }
+
+    /// Fills set 0 of core 0's L1 so the next same-set install must evict,
+    /// with `victim` as the LRU way. Returns the conflicting lines loaded.
+    fn fill_set_around(m: &mut MemHierarchy, victim: LineAddr) -> Vec<LineAddr> {
+        let mut filler = Vec::new();
+        for i in 1..8u64 {
+            // tiny_cfg has 2 sets: stride 2 keeps everything in set 0.
+            let l = LineAddr::new(victim.raw() + i * 2);
+            load_to_completion(m, CoreId(0), l, i * 10);
+            m.retire_load(CoreId(0), l);
+            filler.push(l);
+        }
+        filler
+    }
+
+    #[test]
+    fn dirty_victim_restore_returns_modified_dirty() {
+        let mut m = MemHierarchy::new(tiny_cfg());
+        let victim = LineAddr::new(0x1000);
+        // Store makes the victim Modified + dirty in core 0's L1.
+        m.store(CoreId(0), victim, 0);
+        fill_set_around(&mut m, victim);
+        let data = |l: LineAddr| l.raw().wrapping_mul(0x1234_5677);
+        let before_l1 = m.l1_snapshot(CoreId(0));
+        let before_l2 = m.l2_snapshot();
+        let before_digest = m.l1_digest(CoreId(0), data);
+        // A speculative install evicts the dirty victim (LRU way).
+        let attacker = LineAddr::new(0x4000);
+        let (_, rec) = load_to_completion(&mut m, CoreId(0), attacker, 1000);
+        let rec = rec.unwrap();
+        assert_eq!(rec.l1_evict, Some(victim), "dirty victim was evicted");
+        assert!(rec.l1_evict_dirty, "SEFE recorded the victim's dirty bit");
+        // Squash: undo the install, then restore the victim.
+        m.cleanup_invalidate(CoreId(0), attacker, rec.l1_fill, rec.l2_fill);
+        m.cleanup_restore(CoreId(0), victim, rec.l1_evict_dirty);
+        let restored = m.l1(CoreId(0)).probe(victim).expect("victim restored");
+        assert_eq!(restored.state, Mesi::Modified, "ownership reinstated");
+        assert!(restored.dirty, "dirty bit reinstated");
+        assert_eq!(m.l1_snapshot(CoreId(0)), before_l1, "L1 exactly restored");
+        assert_eq!(
+            m.l2_snapshot(),
+            before_l2,
+            "the eviction writeback was rescinded from the L2"
+        );
+        assert_eq!(m.l1_digest(CoreId(0), data), before_digest);
+        m.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn dirty_victim_restore_yields_when_l2_copy_was_updated() {
+        let mut m = MemHierarchy::new(tiny_cfg());
+        let victim = LineAddr::new(0x1000);
+        m.store(CoreId(0), victim, 0);
+        fill_set_around(&mut m, victim);
+        let attacker = LineAddr::new(0x4000);
+        let (_, rec) = load_to_completion(&mut m, CoreId(0), attacker, 1000);
+        let rec = rec.unwrap();
+        assert_eq!(rec.l1_evict, Some(victim));
+        assert!(rec.l1_evict_dirty);
+        // Before the cleanup runs, core 1 writes the line: the written-back
+        // data is consumed and superseded below core 0's L1.
+        m.store(CoreId(1), victim, 1200);
+        m.cleanup_invalidate(CoreId(0), attacker, rec.l1_fill, rec.l2_fill);
+        m.cleanup_restore(CoreId(0), victim, rec.l1_evict_dirty);
+        // Restoring Modified + dirty now would fork the line's history;
+        // the restore must fall back to a clean Shared copy instead.
+        let restored = m.l1(CoreId(0)).probe(victim).expect("victim restored");
+        assert_eq!(restored.state, Mesi::Shared);
+        assert!(!restored.dirty);
         m.check_invariants().unwrap();
     }
 

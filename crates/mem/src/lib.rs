@@ -44,7 +44,7 @@ pub mod rng;
 pub mod stats;
 pub mod types;
 
-pub use cache::{CacheLine, Mesi, SetAssocCache};
+pub use cache::{CacheLine, GeometryError, Mesi, SetAssocCache};
 pub use ceaser::{CeaserCipher, Indexer};
 pub use hierarchy::{LoadKind, LoadOutcome, LoadReq, MemConfig, MemHierarchy, StoreOutcome};
 pub use mshr::{LoadPath, MshrFullError, MshrToken, SefeRecord};

@@ -69,6 +69,11 @@ pub struct SefeRecord {
     pub l2_fill: bool,
     /// Line evicted from the L1 by this load's install (`L1-Evict Lineaddr`).
     pub l1_evict: Option<LineAddr>,
+    /// Whether the evicted victim held dirty data; the restore must
+    /// reinstate the dirty bit (and pull ownership of the dirty data back
+    /// from the L2) so the cleaned-up cache is byte-for-byte the
+    /// pre-speculation one.
+    pub l1_evict_dirty: bool,
 }
 
 impl SefeRecord {
