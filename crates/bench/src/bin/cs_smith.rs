@@ -1,0 +1,223 @@
+//! `cs-smith` — the differential fuzzer CLI.
+//!
+//! ```sh
+//! cs-smith --seeds 500                    # fuzz seeds 0..500
+//! cs-smith --seeds 200 --start 1000       # fuzz seeds 1000..1200
+//! cs-smith --replay 0x2a                  # re-run one seed, verbose verdict
+//! cs-smith --replay 42 --shrink           # minimize a failing seed to .s files
+//! cs-smith --sabotage --seeds 64 --shrink # prove the oracles catch a planted bug
+//! ```
+//!
+//! Each seed generates a random micro-ISA program (biased toward
+//! mispredicted branches guarding loads, store-to-load forwarding across
+//! squashes, flushes, aliasing, and cross-core sharing), runs it under
+//! NonSecure / CleanupSpec / InvisiSpec (both) / NaiveInvalidate, and
+//! checks the architectural-equivalence, cache-restoration, and
+//! leakage-audit oracles against the in-order reference interpreter.
+//! `--sabotage` swaps CleanupSpec for a deliberately broken undo
+//! (`SkipRestore`) — the run *must* find violations, or the oracles are
+//! toothless. Exit status: 0 clean (or sabotage caught), 1 violations
+//! (or sabotage missed), 2 usage.
+
+use cleanupspec_asm::disassemble;
+use cleanupspec_bench::fuzz::{run_campaign, run_plan, run_plan_sabotaged, shrink, SeedVerdict};
+use cleanupspec_workloads::smith::{assemble_plan, plan, SmithPlan};
+use std::process::ExitCode;
+
+struct Args {
+    seeds: u64,
+    start: u64,
+    replay: Option<u64>,
+    shrink: bool,
+    sabotage: bool,
+    threads: usize,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: cs-smith [--seeds N] [--start N] [--replay SEED] \
+         [--shrink] [--sabotage] [--threads N]"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_u64(s: &str) -> Option<u64> {
+    if let Some(hex) = s.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+fn parse_args() -> Result<Args, ExitCode> {
+    let mut args = Args {
+        seeds: 500,
+        start: 0,
+        replay: None,
+        shrink: false,
+        sabotage: false,
+        threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seeds" => match it.next().and_then(|v| parse_u64(v)) {
+                Some(n) => args.seeds = n,
+                None => return Err(usage()),
+            },
+            "--start" => match it.next().and_then(|v| parse_u64(v)) {
+                Some(n) => args.start = n,
+                None => return Err(usage()),
+            },
+            "--replay" => match it.next().and_then(|v| parse_u64(v)) {
+                Some(n) => args.replay = Some(n),
+                None => return Err(usage()),
+            },
+            "--threads" => match it.next().and_then(|v| parse_u64(v)) {
+                Some(n) => args.threads = n as usize,
+                None => return Err(usage()),
+            },
+            "--shrink" => args.shrink = true,
+            "--sabotage" => args.sabotage = true,
+            _ => return Err(usage()),
+        }
+    }
+    Ok(args)
+}
+
+/// Writes the plan's programs as replayable `.s` files in the working
+/// directory and prints their paths.
+fn export(p: &SmithPlan, tag: &str) {
+    for (i, prog) in assemble_plan(p).iter().enumerate() {
+        let path = format!("cs-smith-{tag}-{:#x}-core{i}.s", p.seed);
+        let asm = format!(
+            "; cs-smith seed {:#x} core {i}: {} plan ops, {} iterations\n{}",
+            p.seed,
+            p.ops.len(),
+            p.iters,
+            disassemble(prog)
+        );
+        match std::fs::write(&path, asm) {
+            Ok(()) => println!("  wrote {path} ({} instructions)", prog.len()),
+            Err(e) => eprintln!("  cannot write {path}: {e}"),
+        }
+    }
+}
+
+fn verdict_of(p: &SmithPlan, sabotage: bool) -> SeedVerdict {
+    if sabotage {
+        run_plan_sabotaged(p)
+    } else {
+        run_plan(p)
+    }
+}
+
+/// Replays one seed verbosely; shrinks and exports on failure.
+fn replay(seed: u64, sabotage: bool, do_shrink: bool) -> ExitCode {
+    let p = plan(seed);
+    let progs = assemble_plan(&p);
+    println!(
+        "seed {:#x}: {} plan ops, {} iters, {} core(s), {} instruction(s)",
+        seed,
+        p.ops.len(),
+        p.iters,
+        p.cores,
+        progs.iter().map(|p| p.len()).sum::<usize>()
+    );
+    match verdict_of(&p, sabotage) {
+        SeedVerdict::Pass { squashes } => {
+            println!("PASS ({squashes} squashes observed)");
+            ExitCode::SUCCESS
+        }
+        SeedVerdict::Fail(violations) => {
+            for v in &violations {
+                println!("FAIL {v}");
+            }
+            if do_shrink {
+                let min = shrink(&p, |cand| !verdict_of(cand, sabotage).passed());
+                let insts: usize = assemble_plan(&min).iter().map(|p| p.len()).sum();
+                println!(
+                    "shrunk to {} plan op(s), {} iter(s), {} core(s), {insts} instruction(s):",
+                    min.ops.len(),
+                    min.iters,
+                    min.cores
+                );
+                for op in &min.ops {
+                    println!("  {op:?}");
+                }
+                export(&min, if sabotage { "sabotage" } else { "fail" });
+                if let SeedVerdict::Fail(vs) = verdict_of(&min, sabotage) {
+                    println!("minimal repro still fails: {}", vs[0]);
+                }
+            }
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Fuzzes a seed range under the planted `SkipRestore` bug: success means
+/// the oracles caught it on at least one seed.
+fn sabotage_campaign(args: &Args) -> ExitCode {
+    for seed in args.start..args.start + args.seeds {
+        let p = plan(seed);
+        if let SeedVerdict::Fail(violations) = run_plan_sabotaged(&p) {
+            println!(
+                "sabotage caught at seed {:#x} after {} seed(s): {}",
+                seed,
+                seed - args.start + 1,
+                violations[0]
+            );
+            if args.shrink {
+                let min = shrink(&p, |cand| !run_plan_sabotaged(cand).passed());
+                let insts: usize = assemble_plan(&min).iter().map(|p| p.len()).sum();
+                println!(
+                    "shrunk to {} plan op(s), {} iter(s), {insts} instruction(s)",
+                    min.ops.len(),
+                    min.iters
+                );
+                export(&min, "sabotage");
+            }
+            return ExitCode::SUCCESS;
+        }
+    }
+    eprintln!(
+        "sabotaged undo survived {} seed(s) — oracles are toothless",
+        args.seeds
+    );
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(c) => return c,
+    };
+    if let Some(seed) = args.replay {
+        return replay(seed, args.sabotage, args.shrink);
+    }
+    if args.sabotage {
+        return sabotage_campaign(&args);
+    }
+    let r = run_campaign(args.start, args.seeds, args.threads);
+    println!(
+        "cs-smith: {} seed(s) x {} scheme runs, {} squashes, {} violation(s)",
+        r.seeds,
+        cleanupspec_bench::fuzz::FUZZ_MODES.len() + 1, // + determinism replay
+        r.squashes,
+        r.violations.len()
+    );
+    if r.clean() {
+        if r.squashes == 0 {
+            eprintln!("warning: no squashes observed — campaign exercised nothing");
+        }
+        println!("all oracles held");
+        ExitCode::SUCCESS
+    } else {
+        for v in r.violations.iter().take(20) {
+            println!("FAIL {v}");
+        }
+        println!("replay with: cs-smith --replay <seed> --shrink");
+        ExitCode::FAILURE
+    }
+}

@@ -10,8 +10,10 @@
 #![forbid(unsafe_code)]
 
 pub mod fmt;
+pub mod fuzz;
 pub mod microbench;
 pub mod runner;
 pub mod svg;
 
+pub use fuzz::{run_campaign, run_seed, shrink, CampaignResult, SeedVerdict, Violation};
 pub use runner::{run_all_spec, run_spec_workload, ExperimentConfig};

@@ -56,7 +56,9 @@ pub fn run_spec_workload(
     let program = w.build(cfg.seed ^ cleanupspec_mem::rng::mix_str(w.name));
     let mut sim = SimBuilder::new(mode)
         .program(program)
-        .seed(cfg.seed)
+        // Mix the name into the *sim* seed too: otherwise all 19 workloads
+        // share one L1 random-replacement stream and one CEASER key.
+        .seed(cfg.seed ^ cleanupspec_mem::rng::mix_str(w.name))
         .build();
     // Warm caches/predictor, reset statistics, then measure.
     let warmup = (cfg.insts / 4).clamp(10_000, 100_000);

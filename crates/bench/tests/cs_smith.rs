@@ -1,0 +1,59 @@
+//! cs-smith integration tests: a bounded deterministic campaign must be
+//! clean, and a deliberately sabotaged undo (skip one victim restore) must
+//! be caught by the oracles and shrink to a tiny repro. The CI workflow
+//! runs the full 500-seed campaign via the `cs-smith` binary; these tests
+//! keep `cargo test` fast with a smaller smoke slice.
+
+use cleanupspec_bench::fuzz::{run_campaign, run_plan_sabotaged, shrink, SeedVerdict};
+use cleanupspec_workloads::smith::{assemble_plan, plan};
+
+#[test]
+fn bounded_campaign_is_clean_and_exercises_squashes() {
+    let r = run_campaign(0, 32, 4);
+    assert!(
+        r.clean(),
+        "differential campaign found violations: {:?}",
+        r.violations
+    );
+    assert!(
+        r.squashes > 0,
+        "campaign observed no squashes — the fuzzer is vacuous"
+    );
+}
+
+/// Regression for the planted-bug acceptance criterion: with CleanupSpec's
+/// undo sabotaged to skip one victim restore, the oracles must flag a seed
+/// within a small scan, and the greedy shrinker must minimize it to a
+/// replay of at most 20 instructions that still fails.
+#[test]
+fn sabotaged_restore_is_caught_and_shrinks_small() {
+    let seed = (0..64)
+        .find(|&s| !run_plan_sabotaged(&plan(s)).passed())
+        .expect("sabotaged undo survived 64 seeds — oracles are toothless");
+
+    let min = shrink(&plan(seed), |cand| !run_plan_sabotaged(cand).passed());
+    let insts: usize = assemble_plan(&min).iter().map(|p| p.len()).sum();
+    assert!(
+        insts <= 20,
+        "shrunk repro has {insts} instructions (want <= 20): {:?}",
+        min.ops
+    );
+    match run_plan_sabotaged(&min) {
+        SeedVerdict::Fail(vs) => {
+            assert!(
+                vs.iter().any(|v| v.oracle.contains("audit")
+                    || v.oracle.contains("restoration")
+                    || v.oracle.contains("cache")),
+                "shrunk repro fails, but not on a cache/audit oracle: {vs:?}"
+            );
+        }
+        SeedVerdict::Pass { .. } => panic!("shrunk repro no longer fails"),
+    }
+
+    // The same minimized plan must pass with the real (unsabotaged)
+    // CleanupSpec undo: the repro isolates the planted bug, nothing else.
+    assert!(
+        cleanupspec_bench::fuzz::run_plan(&min).passed(),
+        "minimized repro fails even without the sabotage"
+    );
+}

@@ -43,6 +43,22 @@ pub struct CleanupStats {
     pub free_squashes: u64,
 }
 
+impl CleanupStats {
+    /// All counters as `(name, value)` pairs (for
+    /// [`SpeculationScheme::stat_counters`]).
+    pub fn counters(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("cleanups", self.cleanups),
+            ("ops", self.ops),
+            ("invalidates", self.invalidates),
+            ("restores", self.restores),
+            ("dropped_inflight", self.dropped_inflight),
+            ("raced_fill_undos", self.raced_fill_undos),
+            ("free_squashes", self.free_squashes),
+        ]
+    }
+}
+
 /// Timing of the cleanup engine.
 #[derive(Clone, Copy, Debug)]
 pub struct CleanupTiming {
@@ -319,6 +335,14 @@ impl SpeculationScheme for CleanupSpec {
     fn on_squash(&mut self, mem: &mut MemHierarchy, info: SquashInfo<'_>) -> SquashResponse {
         self.undo(mem, &info, true)
     }
+
+    fn reset_stats(&mut self) {
+        self.stats = CleanupStats::default();
+    }
+
+    fn stat_counters(&self) -> Vec<(&'static str, u64)> {
+        self.stats.counters()
+    }
 }
 
 /// The Section-2.4.1 strawman: invalidate transient installs on a squash
@@ -378,6 +402,14 @@ impl SpeculationScheme for NaiveInvalidate {
 
     fn on_squash(&mut self, mem: &mut MemHierarchy, info: SquashInfo<'_>) -> SquashResponse {
         self.inner.undo(mem, &info, false)
+    }
+
+    fn reset_stats(&mut self) {
+        self.inner.reset_stats();
+    }
+
+    fn stat_counters(&self) -> Vec<(&'static str, u64)> {
+        self.inner.stat_counters()
     }
 }
 
@@ -542,6 +574,14 @@ impl SpeculationScheme for InvisiSpec {
             resume_at: info.now,
         }
     }
+
+    fn reset_stats(&mut self) {
+        self.update_loads = 0;
+    }
+
+    fn stat_counters(&self) -> Vec<(&'static str, u64)> {
+        vec![("update_loads", self.update_loads)]
+    }
 }
 
 /// Delay-on-miss baseline: speculative loads that HIT the L1 proceed (a
@@ -606,6 +646,14 @@ impl SpeculationScheme for DelayOnMiss {
         SquashResponse {
             resume_at: info.now,
         }
+    }
+
+    fn reset_stats(&mut self) {
+        self.delayed_misses = 0;
+    }
+
+    fn stat_counters(&self) -> Vec<(&'static str, u64)> {
+        vec![("delayed_misses", self.delayed_misses)]
     }
 }
 

@@ -45,6 +45,30 @@ impl DataMem {
     pub fn written_words(&self) -> usize {
         self.words.len()
     }
+
+    /// Iterates the explicitly written words as `(word_index, value)`.
+    /// Word index is `addr >> 3`; order is unspecified.
+    pub fn words(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.words.iter().map(|(&w, &v)| (w, v))
+    }
+
+    /// Order-independent digest of the memory image.
+    ///
+    /// Words whose stored value equals the hashed default are normalized
+    /// away, so an image that wrote a word back to its default value hashes
+    /// the same as one that never touched it — the architectural contents
+    /// are identical. Used by the cross-scheme equivalence oracle.
+    pub fn image_digest(&self) -> u64 {
+        let mut hs: Vec<u64> = self
+            .words
+            .iter()
+            .filter(|&(&w, &v)| v != mix64(w ^ 0xDA7A_0000_0000_0000))
+            .map(|(&w, &v)| mix64(mix64(w ^ 0x1A9E_0000_0000_0000) ^ v))
+            .collect();
+        hs.sort_unstable();
+        hs.into_iter()
+            .fold(0x5EED_DA7A_1A9E_0001, |acc, h| mix64(acc ^ h))
+    }
 }
 
 #[cfg(test)]

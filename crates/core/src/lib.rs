@@ -33,6 +33,7 @@ pub mod bpred;
 pub mod datamem;
 pub mod isa;
 pub mod pipeline;
+pub mod reference;
 pub mod scheme;
 pub mod stats;
 pub mod system;
@@ -41,6 +42,7 @@ pub mod trace;
 pub use datamem::DataMem;
 pub use isa::{AluOp, BranchCond, Inst, Operand, Pc, Program, ProgramBuilder, Reg};
 pub use pipeline::{CoreConfig, Pipeline};
+pub use reference::{interpret, CommitRecord, RefRun};
 pub use scheme::{
     CommitAction, CommittedLoad, LoadIssue, LoadIssuePolicy, SpeculationScheme, SquashInfo,
     SquashResponse, SquashedLoad, SquashedLoadState,

@@ -1,0 +1,226 @@
+//! In-order reference interpreter over the micro-ISA.
+//!
+//! This is the architectural ground truth the differential oracles compare
+//! against: a straight-line interpreter with no pipeline, no speculation,
+//! and no caches. Whatever it computes — final registers, memory image,
+//! committed-instruction stream — is *the* architecturally correct result;
+//! every security scheme must match it exactly, because speculation
+//! schemes are allowed to change timing and cache state but never
+//! architecture.
+//!
+//! Promoted out of `tests/reference_model.rs` so the `cs-smith` fuzzing
+//! harness (`cleanupspec-bench`) and the property tests share one model.
+
+use crate::datamem::DataMem;
+use crate::isa::{Inst, Operand, Pc, Program, LINK_REG, NUM_REGS};
+use cleanupspec_mem::rng::mix64;
+use cleanupspec_mem::types::Addr;
+use std::collections::BTreeSet;
+
+/// One architecturally executed instruction: its PC and, for loads, the
+/// cache line it read. Mirrors the pipeline's `SimEvent::Commit` payload.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct CommitRecord {
+    /// Program counter of the instruction.
+    pub pc: Pc,
+    /// Accessed line (raw line address) for loads; `None` otherwise.
+    pub line: Option<u64>,
+}
+
+/// Result of an in-order reference execution.
+#[derive(Clone, Debug)]
+pub struct RefRun {
+    /// Final register file.
+    pub regs: [u64; NUM_REGS],
+    /// Final memory image (init values + stores).
+    pub mem: DataMem,
+    /// Every executed instruction in order, including the final `Halt`.
+    pub commits: Vec<CommitRecord>,
+    /// Raw line addresses touched by committed loads and stores, plus the
+    /// program's `init_mem` lines. On a squash-clean scheme, any line
+    /// resident in a cache at the end of a run must come from this set —
+    /// anything else is wrong-path residue.
+    pub touched_lines: BTreeSet<u64>,
+    /// Whether the program reached `Halt` within the step budget. When
+    /// false, the remaining fields reflect the state at the budget limit.
+    pub halted: bool,
+}
+
+impl RefRun {
+    /// Order-sensitive digest of the full architectural state: registers,
+    /// memory image, and committed PC stream. Two runs are architecturally
+    /// equivalent iff their digests match.
+    pub fn arch_digest(&self) -> u64 {
+        let regs = reg_digest(self.regs.iter().copied());
+        let pcs = self
+            .commits
+            .iter()
+            .fold(0xC0_4417u64, |acc, c| mix64(acc ^ c.pc as u64));
+        mix64(regs ^ mix64(self.mem.image_digest() ^ pcs))
+    }
+}
+
+/// Order-sensitive digest of a register file (helper for comparing the
+/// pipeline's registers against [`RefRun::regs`] without copying).
+pub fn reg_digest(regs: impl IntoIterator<Item = u64>) -> u64 {
+    regs.into_iter()
+        .enumerate()
+        .fold(0x5EED_4E65, |acc, (i, v)| mix64(acc ^ mix64(v ^ i as u64)))
+}
+
+/// Executes `p` in order, recording the commit stream and touched lines.
+///
+/// Stops after `max_steps` instructions if the program has not halted
+/// (`halted: false` in the result) — generated programs are expected to
+/// terminate, and the harness treats budget overruns as a skip, not a
+/// failure.
+pub fn interpret(p: &Program, max_steps: usize) -> RefRun {
+    let mut regs = [0u64; NUM_REGS];
+    for (r, v) in &p.init_regs {
+        regs[r.index()] = *v;
+    }
+    let mut mem = DataMem::new();
+    let mut touched = BTreeSet::new();
+    for (a, v) in &p.init_mem {
+        mem.write(*a, *v);
+        touched.insert(a.line().raw());
+    }
+    let mut commits = Vec::new();
+    let mut pc: Pc = p.entry;
+    for _ in 0..max_steps {
+        let inst = p.fetch(pc);
+        let mut line = None;
+        let mut next = pc + 1;
+        match inst {
+            Inst::Nop | Inst::Fence | Inst::Clflush { .. } => {}
+            Inst::Halt => {
+                commits.push(CommitRecord { pc, line: None });
+                return RefRun {
+                    regs,
+                    mem,
+                    commits,
+                    touched_lines: touched,
+                    halted: true,
+                };
+            }
+            Inst::Alu {
+                dst,
+                src1,
+                src2,
+                op,
+                ..
+            } => {
+                let a = operand(&regs, src1);
+                let b = operand(&regs, src2);
+                regs[dst.index()] = op.apply(a, b);
+            }
+            Inst::Load { dst, base, offset } => {
+                let addr = Addr::new(regs[base.index()].wrapping_add(offset as u64));
+                regs[dst.index()] = mem.read(addr);
+                line = Some(addr.line().raw());
+                touched.insert(addr.line().raw());
+            }
+            Inst::Store { src, base, offset } => {
+                let addr = Addr::new(regs[base.index()].wrapping_add(offset as u64));
+                mem.write(addr, regs[src.index()]);
+                touched.insert(addr.line().raw());
+            }
+            Inst::Branch { src, cond, target } => {
+                if cond.taken(regs[src.index()]) {
+                    next = target;
+                }
+            }
+            Inst::Jump { target } => next = target,
+            Inst::Call { target } => {
+                regs[LINK_REG.index()] = (pc + 1) as u64;
+                next = target;
+            }
+            Inst::Ret => next = regs[LINK_REG.index()] as Pc,
+        }
+        commits.push(CommitRecord { pc, line });
+        pc = next;
+    }
+    RefRun {
+        regs,
+        mem,
+        commits,
+        touched_lines: touched,
+        halted: false,
+    }
+}
+
+fn operand(regs: &[u64; NUM_REGS], o: Operand) -> u64 {
+    match o {
+        Operand::Reg(r) => regs[r.index()],
+        Operand::Imm(v) => v as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::{AluOp, BranchCond, ProgramBuilder, Reg};
+
+    #[test]
+    fn straight_line_program() {
+        let mut b = ProgramBuilder::new("t");
+        b.movi(Reg(1), 5);
+        b.alu(Reg(2), AluOp::Add, Operand::Reg(Reg(1)), Operand::Imm(3));
+        b.movi(Reg(3), 0x5000);
+        b.store(Reg(2), Reg(3), 0);
+        b.load(Reg(4), Reg(3), 0);
+        b.halt();
+        let r = interpret(&b.build(), 100);
+        assert!(r.halted);
+        assert_eq!(r.regs[2], 8);
+        assert_eq!(r.regs[4], 8);
+        assert_eq!(r.commits.len(), 6);
+        // The load's commit record carries its line; others carry none.
+        assert_eq!(r.commits[4].line, Some(Addr::new(0x5000).line().raw()));
+        assert_eq!(r.commits[3].line, None);
+        assert!(r.touched_lines.contains(&Addr::new(0x5000).line().raw()));
+    }
+
+    #[test]
+    fn non_terminating_program_reports_not_halted() {
+        let mut b = ProgramBuilder::new("spin");
+        let top = b.here();
+        b.jump(top);
+        let r = interpret(&b.build(), 50);
+        assert!(!r.halted);
+        assert_eq!(r.commits.len(), 50);
+    }
+
+    #[test]
+    fn digests_distinguish_state() {
+        let mut b = ProgramBuilder::new("a");
+        b.movi(Reg(1), 1);
+        b.halt();
+        let a = interpret(&b.build(), 10);
+        let mut b2 = ProgramBuilder::new("b");
+        b2.movi(Reg(1), 2);
+        b2.halt();
+        let b2 = interpret(&b2.build(), 10);
+        assert_ne!(a.arch_digest(), b2.arch_digest());
+        assert_eq!(a.arch_digest(), interpret_again(&a));
+    }
+
+    fn interpret_again(r: &RefRun) -> u64 {
+        // Digest is a pure function of the run.
+        r.arch_digest()
+    }
+
+    #[test]
+    fn branch_and_loop() {
+        let mut b = ProgramBuilder::new("loop");
+        b.movi(Reg(1), 3);
+        let top = b.here();
+        b.alu(Reg(2), AluOp::Add, Operand::Reg(Reg(2)), Operand::Imm(10));
+        b.alu(Reg(1), AluOp::Sub, Operand::Reg(Reg(1)), Operand::Imm(1));
+        b.branch(Reg(1), BranchCond::NotZero, top);
+        b.halt();
+        let r = interpret(&b.build(), 1000);
+        assert!(r.halted);
+        assert_eq!(r.regs[2], 30);
+    }
+}

@@ -197,6 +197,17 @@ pub trait SpeculationScheme: std::fmt::Debug {
     /// Handles a squash: disposes of the squashed loads' cache-state
     /// changes and reports when the core may resume.
     fn on_squash(&mut self, mem: &mut MemHierarchy, info: SquashInfo<'_>) -> SquashResponse;
+
+    /// Zeroes any scheme-internal counters (cleanup-op tallies, update-load
+    /// counts, …) so warmup activity does not leak into measured stats.
+    /// Called from `System::reset_stats`. Default: no counters, no-op.
+    fn reset_stats(&mut self) {}
+
+    /// Scheme-internal counters as `(name, value)` pairs, for reports and
+    /// the warmup-reset regression test. Default: none.
+    fn stat_counters(&self) -> Vec<(&'static str, u64)> {
+        Vec::new()
+    }
 }
 
 #[cfg(test)]

@@ -137,6 +137,9 @@ impl System {
         for c in &mut self.cores {
             c.reset_stats();
         }
+        for s in &mut self.schemes {
+            s.reset_stats();
+        }
         self.mem.reset_stats();
     }
 
@@ -169,6 +172,11 @@ impl System {
     /// Mutable pipeline access (e.g. to enable tracing before a run).
     pub fn core_mut(&mut self, i: usize) -> &mut Pipeline {
         &mut self.cores[i]
+    }
+
+    /// The speculation scheme driving core `i` (stat inspection).
+    pub fn scheme(&self, i: usize) -> &dyn SpeculationScheme {
+        self.schemes[i].as_ref()
     }
 
     /// Shared memory hierarchy (read-only).

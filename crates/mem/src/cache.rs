@@ -108,8 +108,7 @@ impl CacheConfig {
     /// # Panics
     /// Panics if the geometry does not divide into a power-of-two set count.
     pub fn num_sets(&self) -> usize {
-        self.checked_num_sets()
-            .unwrap_or_else(|e| panic!("{e}"))
+        self.checked_num_sets().unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Validates the geometry and returns the set count.
@@ -129,7 +128,7 @@ impl CacheConfig {
                 self.capacity_bytes
             )));
         }
-        if self.capacity_bytes % (64 * self.ways) != 0 {
+        if !self.capacity_bytes.is_multiple_of(64 * self.ways) {
             return Err(GeometryError(format!(
                 "capacity {} B does not divide into whole sets of {} 64-B ways",
                 self.capacity_bytes, self.ways

@@ -946,6 +946,15 @@ impl MemHierarchy {
             latency += self.cfg.dram_rt;
             let evicted = self.l2.install(line, Mesi::Shared, false, None);
             self.dir.insert(line, DirEntry::default());
+            self.obs.emit(
+                self.now_hint,
+                SimEvent::Fill {
+                    core: ci,
+                    line: line.raw(),
+                    level: CacheLevel::L2,
+                    spec: false,
+                },
+            );
             if let Some(v) = evicted {
                 self.handle_l2_eviction(core, v, None);
             }
@@ -958,6 +967,15 @@ impl MemHierarchy {
         d.owner = Some(core);
         d.add(core);
         let evicted = self.l1[ci].install(line, Mesi::Modified, true, None);
+        self.obs.emit(
+            self.now_hint,
+            SimEvent::Fill {
+                core: ci,
+                line: line.raw(),
+                level: CacheLevel::L1,
+                spec: false,
+            },
+        );
         if let Some(v) = evicted {
             self.stats.l1_evictions += 1;
             self.handle_l1_eviction(core, v, None);

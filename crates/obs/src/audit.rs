@@ -241,13 +241,30 @@ impl EventSink for LeakageAuditSink {
                 }
             }
             SimEvent::Fill {
-                core, line, level, ..
+                core,
+                line,
+                level,
+                spec,
             } => {
                 let c = self.core(core);
                 if let Some(w) = c.watch.get_mut(&line) {
-                    match level {
-                        CacheLevel::L1 => w.present_l1 = true,
-                        CacheLevel::L2 => w.present_l2 = true,
+                    if !w.squashed || spec {
+                        // The speculative load's own fill (insecure modes
+                        // install untagged, so an open episode claims any
+                        // fill on its line, tagged or not).
+                        match level {
+                            CacheLevel::L1 => w.present_l1 = true,
+                            CacheLevel::L2 => w.present_l2 = true,
+                        }
+                    } else {
+                        // An untagged install landing *after* the episode
+                        // was squashed and undone — a cleanup restore, a
+                        // committed store's RFO, a demand refill — makes
+                        // the line's presence architectural and must not
+                        // be charged to the stale watch. (A squashed
+                        // load's own late fill is re-flagged by the
+                        // `OrphanFill` the MSHR emits right after.)
+                        c.watch.remove(&line);
                     }
                 }
                 if level == CacheLevel::L1 {
@@ -255,6 +272,15 @@ impl EventSink for LeakageAuditSink {
                         o.settled = true;
                     }
                 }
+            }
+            SimEvent::OrphanFill { core, line } => {
+                // A squashed load's fill landed anyway (insecure modes
+                // keep the MSHR entry alive): speculation-attributable
+                // presence, no matter what the preceding plain `Fill` on
+                // this line looked like.
+                let w = self.core(core).watch.entry(line).or_default();
+                w.squashed = true;
+                w.present_l1 = true;
             }
             SimEvent::Evict {
                 core,

@@ -27,6 +27,7 @@
 #![forbid(unsafe_code)]
 
 pub mod audit;
+pub mod commitlog;
 pub mod event;
 pub mod histogram;
 pub mod json;
@@ -36,6 +37,7 @@ pub mod perfetto;
 pub mod ring;
 
 pub use audit::{AuditReport, AuditResidue, LeakageAuditSink, ResidueKind};
+pub use commitlog::{CommitEntry, CommitLogSink};
 pub use event::{CacheLevel, FieldValue, Layer, PathKind, SimEvent};
 pub use histogram::Histogram;
 pub use json::JsonWriter;

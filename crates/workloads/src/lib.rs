@@ -13,6 +13,7 @@
 pub mod attacks;
 pub mod micro;
 pub mod sharing;
+pub mod smith;
 pub mod spec;
 
 pub use attacks::{
@@ -21,4 +22,5 @@ pub use attacks::{
     MeltdownResult, PrimeProbeResult, SpectreConfig, SpectreResult,
 };
 pub use sharing::{sharing_workload, SharingWorkload, SHARING_WORKLOADS};
+pub use smith::{assemble_plan, plan, SmithOp, SmithPlan, WrongOp};
 pub use spec::{all_spec_programs, spec_workload, SpecWorkload, SPEC_WORKLOADS};

@@ -1,0 +1,564 @@
+//! `cs-smith`: seeded random micro-ISA program generation for the
+//! differential fuzzing harness.
+//!
+//! A [`SmithPlan`] is a structured, shrinkable description of a workload:
+//! a counted loop over a list of [`SmithOp`]s, optionally paired with a
+//! second-core sharer program. [`plan`] draws one deterministically from a
+//! seed; [`assemble_plan`] lowers it to [`Program`]s. The split matters:
+//! the shrinker in `cleanupspec-bench` minimizes failing seeds by deleting
+//! plan-level ops (never raw instructions), so every shrunk candidate is
+//! still a well-formed loop with patched branch targets.
+//!
+//! The generator is biased toward the cases where undo-style schemes
+//! break: **guaranteed-mispredicted branches guarding loads** (a cold
+//! trigger load feeding an always-taken branch, predicted not-taken on the
+//! first encounter), **store-to-load forwarding across squashes**,
+//! **clflush**, **aliasing loads** that gang up on one L1 set, and
+//! **cross-core sharing** where a wrong path reads another core's lines.
+//!
+//! Determinism rules baked into every plan:
+//! * each core writes only its private region, so multi-core runs have
+//!   architecturally deterministic memory regardless of interleaving;
+//! * shared and cross-core lines are only *read* on correct paths, and
+//!   wrong-path bodies may do anything (they never commit);
+//! * only assembler-round-trippable instruction forms are emitted (`movi`
+//!   and register-first ALU ops), so shrunk repros can be written out as
+//!   `.s` files and replayed exactly.
+
+use cleanupspec_core::isa::{AluOp, BranchCond, Operand, Pc, Program, ProgramBuilder, Reg};
+use cleanupspec_mem::rng::{mix64, SplitMix64};
+
+/// Base address of a core's private read-write region.
+pub fn priv_base(core: usize) -> u64 {
+    0x5_0000 + core as u64 * 0x1_0000
+}
+
+/// Base address of the shared read-only region.
+pub const SHARED_BASE: u64 = 0x8_0000;
+
+/// Base address of the per-block branch-trigger lines (read once, cold).
+pub const TRIG_BASE: u64 = 0xA_0000;
+
+/// Base address of the L1-set-aliasing region. Consecutive ways are
+/// `ALIAS_STRIDE` apart: with 64-byte lines that is 128 lines, which lands
+/// in the same set for any power-of-two L1 with at most 128 sets (the
+/// paper's 64 KB / 8-way L1 included).
+pub const ALIAS_BASE: u64 = 0x20_0000;
+/// Byte stride between aliasing ways.
+pub const ALIAS_STRIDE: u64 = 0x2000;
+
+/// Word slots per private region.
+pub const PRIV_SLOTS: u64 = 256;
+/// Word slots in the shared region.
+pub const SHARED_SLOTS: u64 = 64;
+
+/// One operation inside a guaranteed-wrong-path block. These execute
+/// transiently and are squashed, so they may be adversarial: read other
+/// cores' lines, thrash an aliasing set, flush, forward.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum WrongOp {
+    /// Load a private slot of the running core (transient install).
+    LoadPriv {
+        /// Destination register index.
+        dst: u8,
+        /// Word slot in the private region.
+        slot: u64,
+    },
+    /// Load a shared-region slot.
+    LoadShared {
+        /// Destination register index.
+        dst: u8,
+        /// Word slot in the shared region.
+        slot: u64,
+    },
+    /// Load the *other* core's private region (cross-core transient read;
+    /// lowered to a shared-region load in single-core plans).
+    LoadOther {
+        /// Destination register index.
+        dst: u8,
+        /// Word slot in the other core's private region.
+        slot: u64,
+    },
+    /// Load one way of the aliasing set (same L1 set, distinct tags).
+    LoadAlias {
+        /// Destination register index.
+        dst: u8,
+        /// Aliasing way (multiplies [`ALIAS_STRIDE`]).
+        way: u64,
+    },
+    /// Store then immediately load the same private word: store-to-load
+    /// forwarding inside a to-be-squashed window. The store never commits.
+    StoreFwd {
+        /// Word slot in the private region.
+        slot: u64,
+    },
+    /// Wrong-path `clflush` of a private line (must be delayed past the
+    /// squash and then dropped, per Section 3.5).
+    Flush {
+        /// Word slot in the private region.
+        slot: u64,
+    },
+}
+
+/// One top-level (correct-path) operation of the loop body.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum SmithOp {
+    /// Register-first ALU op `dst = dst <op> (src or imm)`.
+    Alu {
+        /// Destination (and first source) register index.
+        dst: u8,
+        /// Operation.
+        op: AluOp,
+        /// Second-source register index.
+        src: u8,
+        /// Immediate mixed in via the second source when `use_imm`.
+        imm: i64,
+        /// Whether the second source is `imm` instead of `src`.
+        use_imm: bool,
+    },
+    /// Load a private slot.
+    LoadPriv {
+        /// Destination register index.
+        dst: u8,
+        /// Word slot.
+        slot: u64,
+    },
+    /// Store a register to a private slot.
+    StorePriv {
+        /// Source register index.
+        src: u8,
+        /// Word slot.
+        slot: u64,
+    },
+    /// Load a shared-region slot (read-only on correct paths).
+    LoadShared {
+        /// Destination register index.
+        dst: u8,
+        /// Word slot.
+        slot: u64,
+    },
+    /// Store then load the same private word (committed forwarding pair).
+    StoreLoadFwd {
+        /// Stored register index.
+        src: u8,
+        /// Destination register index of the load-back.
+        dst: u8,
+        /// Word slot.
+        slot: u64,
+    },
+    /// Data-dependent forward branch over the next `skip` ops — the
+    /// classic mispredicted-branch-guards-loads shape.
+    SkipIf {
+        /// Condition register index.
+        reg: u8,
+        /// Branch when zero (else when non-zero).
+        on_zero: bool,
+        /// Number of following top-level ops to skip.
+        skip: u8,
+    },
+    /// Committed `clflush` of a private line.
+    Flush {
+        /// Word slot.
+        slot: u64,
+    },
+    /// Memory fence.
+    Fence,
+    /// A guaranteed-mispredicted block: a cold trigger load feeds an
+    /// always-taken branch, so the body below it executes exactly once as
+    /// a wrong path and is squashed.
+    WrongPath {
+        /// Transient body.
+        body: Vec<WrongOp>,
+        /// Re-flush the trigger line afterwards so the guard load misses
+        /// again on the next loop iteration.
+        reflush_trigger: bool,
+    },
+}
+
+/// A complete shrinkable workload description.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SmithPlan {
+    /// Generating seed (kept for labeling; the ops are already drawn).
+    pub seed: u64,
+    /// Loop iterations of core 0's body.
+    pub iters: u64,
+    /// Number of cores (1 or 2).
+    pub cores: usize,
+    /// Core 0's loop body.
+    pub ops: Vec<SmithOp>,
+}
+
+const DATA_REGS: std::ops::Range<u64> = 2..12; // r2..r11 hold live data
+const WRONG_REGS: std::ops::Range<u64> = 12..16; // r12..r15: wrong-path dsts
+const R_COUNT: Reg = Reg(1); // loop counter
+const R_ADDR: Reg = Reg(30); // address scratch
+const R_TRIG: Reg = Reg(29); // trigger-gadget condition
+
+fn data_reg(rng: &mut SplitMix64) -> u8 {
+    (DATA_REGS.start + rng.below(DATA_REGS.end - DATA_REGS.start)) as u8
+}
+
+fn wrong_reg(rng: &mut SplitMix64) -> u8 {
+    (WRONG_REGS.start + rng.below(WRONG_REGS.end - WRONG_REGS.start)) as u8
+}
+
+fn gen_wrong_op(rng: &mut SplitMix64) -> WrongOp {
+    match rng.below(8) {
+        0 | 1 => WrongOp::LoadPriv {
+            dst: wrong_reg(rng),
+            slot: rng.below(PRIV_SLOTS),
+        },
+        2 => WrongOp::LoadShared {
+            dst: wrong_reg(rng),
+            slot: rng.below(SHARED_SLOTS),
+        },
+        3 => WrongOp::LoadOther {
+            dst: wrong_reg(rng),
+            slot: rng.below(PRIV_SLOTS),
+        },
+        4 | 5 => WrongOp::LoadAlias {
+            dst: wrong_reg(rng),
+            way: rng.below(12),
+        },
+        6 => WrongOp::StoreFwd {
+            slot: rng.below(PRIV_SLOTS),
+        },
+        _ => WrongOp::Flush {
+            slot: rng.below(PRIV_SLOTS),
+        },
+    }
+}
+
+const ALU_OPS: [AluOp; 8] = [
+    AluOp::Add,
+    AluOp::Sub,
+    AluOp::Mul,
+    AluOp::Xor,
+    AluOp::And,
+    AluOp::Or,
+    AluOp::Shl,
+    AluOp::Shr,
+];
+
+fn gen_op(rng: &mut SplitMix64) -> SmithOp {
+    match rng.below(20) {
+        0..=3 => SmithOp::Alu {
+            dst: data_reg(rng),
+            op: ALU_OPS[rng.below(8) as usize],
+            src: data_reg(rng),
+            imm: rng.below(64) as i64 + 1,
+            use_imm: rng.below(2) == 0,
+        },
+        4..=6 => SmithOp::LoadPriv {
+            dst: data_reg(rng),
+            slot: rng.below(PRIV_SLOTS),
+        },
+        7 | 8 => SmithOp::StorePriv {
+            src: data_reg(rng),
+            slot: rng.below(PRIV_SLOTS),
+        },
+        9 => SmithOp::LoadShared {
+            dst: data_reg(rng),
+            slot: rng.below(SHARED_SLOTS),
+        },
+        10 | 11 => SmithOp::StoreLoadFwd {
+            src: data_reg(rng),
+            dst: data_reg(rng),
+            slot: rng.below(PRIV_SLOTS),
+        },
+        12..=14 => SmithOp::SkipIf {
+            reg: data_reg(rng),
+            on_zero: rng.below(2) == 0,
+            skip: (1 + rng.below(4)) as u8,
+        },
+        15 => SmithOp::Flush {
+            slot: rng.below(PRIV_SLOTS),
+        },
+        16 => SmithOp::Fence,
+        _ => SmithOp::WrongPath {
+            body: (0..1 + rng.below(4)).map(|_| gen_wrong_op(rng)).collect(),
+            reflush_trigger: rng.below(2) == 0,
+        },
+    }
+}
+
+/// Draws the plan for `seed`. Same seed, same plan, forever — the plan is
+/// the unit of replay and shrinking.
+pub fn plan(seed: u64) -> SmithPlan {
+    let mut rng = SplitMix64::new(mix64(seed ^ 0x5111_7400_0000_0001));
+    let n = 4 + rng.below(14) as usize;
+    let ops = (0..n).map(|_| gen_op(&mut rng)).collect();
+    SmithPlan {
+        seed,
+        iters: 2 + rng.below(5),
+        cores: if rng.below(4) == 0 { 2 } else { 1 },
+        ops,
+    }
+}
+
+fn emit_addr(b: &mut ProgramBuilder, addr: u64) {
+    b.movi(R_ADDR, addr);
+}
+
+fn emit_wrong_op(b: &mut ProgramBuilder, core: usize, cores: usize, op: &WrongOp) {
+    match *op {
+        WrongOp::LoadPriv { dst, slot } => {
+            emit_addr(b, priv_base(core) + slot * 8);
+            b.load(Reg(dst), R_ADDR, 0);
+        }
+        WrongOp::LoadShared { dst, slot } => {
+            emit_addr(b, SHARED_BASE + slot * 8);
+            b.load(Reg(dst), R_ADDR, 0);
+        }
+        WrongOp::LoadOther { dst, slot } => {
+            // In a single-core plan there is no other core; read shared.
+            let base = if cores > 1 {
+                priv_base(1 - core)
+            } else {
+                SHARED_BASE
+            };
+            let slot = if cores > 1 { slot } else { slot % SHARED_SLOTS };
+            emit_addr(b, base + slot * 8);
+            b.load(Reg(dst), R_ADDR, 0);
+        }
+        WrongOp::LoadAlias { dst, way } => {
+            emit_addr(b, ALIAS_BASE + way * ALIAS_STRIDE);
+            b.load(Reg(dst), R_ADDR, 0);
+        }
+        WrongOp::StoreFwd { slot } => {
+            emit_addr(b, priv_base(core) + slot * 8);
+            b.store(Reg(2), R_ADDR, 0);
+            b.load(Reg(13), R_ADDR, 0);
+        }
+        WrongOp::Flush { slot } => {
+            emit_addr(b, priv_base(core) + slot * 8);
+            b.clflush(R_ADDR, 0);
+        }
+    }
+}
+
+/// Emits one top-level op. `trig_idx` numbers wrong-path blocks so each
+/// gets its own cold trigger line.
+fn emit_op(b: &mut ProgramBuilder, p: &SmithPlan, op: &SmithOp, trig_idx: &mut u64) {
+    match op {
+        SmithOp::Alu {
+            dst,
+            op,
+            src,
+            imm,
+            use_imm,
+        } => {
+            let second = if *use_imm {
+                Operand::Imm(*imm)
+            } else {
+                Operand::Reg(Reg(*src))
+            };
+            b.alu(Reg(*dst), *op, Operand::Reg(Reg(*dst)), second);
+        }
+        SmithOp::LoadPriv { dst, slot } => {
+            emit_addr(b, priv_base(0) + slot * 8);
+            b.load(Reg(*dst), R_ADDR, 0);
+        }
+        SmithOp::StorePriv { src, slot } => {
+            emit_addr(b, priv_base(0) + slot * 8);
+            b.store(Reg(*src), R_ADDR, 0);
+        }
+        SmithOp::LoadShared { dst, slot } => {
+            emit_addr(b, SHARED_BASE + slot * 8);
+            b.load(Reg(*dst), R_ADDR, 0);
+        }
+        SmithOp::StoreLoadFwd { src, dst, slot } => {
+            emit_addr(b, priv_base(0) + slot * 8);
+            b.store(Reg(*src), R_ADDR, 0);
+            b.load(Reg(*dst), R_ADDR, 0);
+        }
+        SmithOp::SkipIf { .. } => unreachable!("SkipIf handled by the body loop"),
+        SmithOp::Flush { slot } => {
+            emit_addr(b, priv_base(0) + slot * 8);
+            b.clflush(R_ADDR, 0);
+        }
+        SmithOp::Fence => {
+            b.fence();
+        }
+        SmithOp::WrongPath {
+            body,
+            reflush_trigger,
+        } => {
+            let trig = TRIG_BASE + *trig_idx * 64;
+            *trig_idx += 1;
+            // Cold load -> x0 -> +1 -> always-taken branch, predicted
+            // not-taken on first sight: the body below runs transiently.
+            emit_addr(b, trig);
+            b.load(R_TRIG, R_ADDR, 0);
+            b.alu(R_TRIG, AluOp::Mul, Operand::Reg(R_TRIG), Operand::Imm(0));
+            b.alu(R_TRIG, AluOp::Add, Operand::Reg(R_TRIG), Operand::Imm(1));
+            let guard = b.branch(R_TRIG, BranchCond::NotZero, 0);
+            for w in body {
+                emit_wrong_op(b, 0, p.cores, w);
+            }
+            let after = b.here();
+            b.patch_branch(guard, after);
+            if *reflush_trigger {
+                emit_addr(b, trig);
+                b.clflush(R_ADDR, 0);
+            }
+        }
+    }
+}
+
+/// Lowers a plan to one program per core.
+pub fn assemble_plan(p: &SmithPlan) -> Vec<Program> {
+    let mut b = ProgramBuilder::new("smith");
+    b.init_reg(R_COUNT, p.iters);
+    for r in DATA_REGS {
+        b.init_reg(Reg(r as u8), mix64(p.seed ^ r) | 1);
+    }
+    let top = b.here();
+    // (branch pc, ops left before the skip target) — reference_model.rs's
+    // forward-skip patching, at op granularity so targets never land
+    // inside a wrong-path body.
+    let mut pending: Vec<(Pc, usize)> = Vec::new();
+    let mut trig_idx = 0u64;
+    for op in &p.ops {
+        let here = b.here();
+        pending.retain_mut(|(bpc, left)| {
+            if *left == 0 {
+                b.patch_branch(*bpc, here);
+                false
+            } else {
+                *left -= 1;
+                true
+            }
+        });
+        if let SmithOp::SkipIf { reg, on_zero, skip } = op {
+            let cond = if *on_zero {
+                BranchCond::Zero
+            } else {
+                BranchCond::NotZero
+            };
+            let at = b.branch(Reg(*reg), cond, 0);
+            pending.push((at, *skip as usize));
+        } else {
+            emit_op(&mut b, p, op, &mut trig_idx);
+        }
+    }
+    let end = b.here();
+    for (bpc, _) in &pending {
+        b.patch_branch(*bpc, end);
+    }
+    b.alu(R_COUNT, AluOp::Sub, Operand::Reg(R_COUNT), Operand::Imm(1));
+    b.branch(R_COUNT, BranchCond::NotZero, top);
+    b.halt();
+    let mut progs = vec![b.build()];
+    if p.cores == 2 {
+        progs.push(sharer_program(p.seed));
+    }
+    progs
+}
+
+/// The second core's program: a small loop that reads the shared region
+/// and reads/writes its own private region, giving core 0's wrong paths
+/// remotely-owned lines to poke at.
+fn sharer_program(seed: u64) -> Program {
+    let mut rng = SplitMix64::new(mix64(seed ^ 0x54A4_E400_0000_0002));
+    let mut b = ProgramBuilder::new("smith-sharer");
+    b.init_reg(R_COUNT, 3 + rng.below(4));
+    b.init_reg(Reg(2), mix64(seed) | 1);
+    let top = b.here();
+    for _ in 0..2 + rng.below(4) {
+        match rng.below(3) {
+            0 => {
+                b.movi(R_ADDR, SHARED_BASE + rng.below(SHARED_SLOTS) * 8);
+                b.load(Reg(3), R_ADDR, 0);
+                b.alu(
+                    Reg(2),
+                    AluOp::Add,
+                    Operand::Reg(Reg(2)),
+                    Operand::Reg(Reg(3)),
+                );
+            }
+            1 => {
+                b.movi(R_ADDR, priv_base(1) + rng.below(PRIV_SLOTS) * 8);
+                b.store(Reg(2), R_ADDR, 0);
+            }
+            _ => {
+                b.movi(R_ADDR, priv_base(1) + rng.below(PRIV_SLOTS) * 8);
+                b.load(Reg(4), R_ADDR, 0);
+                b.alu(
+                    Reg(2),
+                    AluOp::Xor,
+                    Operand::Reg(Reg(2)),
+                    Operand::Reg(Reg(4)),
+                );
+            }
+        }
+    }
+    b.alu(R_COUNT, AluOp::Sub, Operand::Reg(R_COUNT), Operand::Imm(1));
+    b.branch(R_COUNT, BranchCond::NotZero, top);
+    b.halt();
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cleanupspec_core::reference::interpret;
+
+    #[test]
+    fn plans_are_deterministic() {
+        for s in 0..50 {
+            assert_eq!(plan(s), plan(s));
+            let a = assemble_plan(&plan(s));
+            let b = assemble_plan(&plan(s));
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.insts(), y.insts());
+            }
+        }
+    }
+
+    #[test]
+    fn generated_programs_terminate_on_the_reference() {
+        for s in 0..200 {
+            let p = plan(s);
+            for prog in assemble_plan(&p) {
+                let r = interpret(&prog, 500_000);
+                assert!(r.halted, "seed {s} must halt");
+            }
+        }
+    }
+
+    #[test]
+    fn generator_hits_the_hard_cases() {
+        let (mut wrong, mut fwd, mut flush, mut multi) = (0, 0, 0, 0);
+        for s in 0..100 {
+            let p = plan(s);
+            if p.cores == 2 {
+                multi += 1;
+            }
+            for op in &p.ops {
+                match op {
+                    SmithOp::WrongPath { .. } => wrong += 1,
+                    SmithOp::StoreLoadFwd { .. } => fwd += 1,
+                    SmithOp::Flush { .. } => flush += 1,
+                    _ => {}
+                }
+            }
+        }
+        assert!(wrong > 20, "wrong-path blocks are the point: {wrong}");
+        assert!(fwd > 10, "forwarding pairs: {fwd}");
+        assert!(flush > 0, "clflush ops: {flush}");
+        assert!(multi > 5, "two-core plans: {multi}");
+    }
+
+    #[test]
+    fn programs_roundtrip_through_the_assembler() {
+        for s in 0..50 {
+            for prog in assemble_plan(&plan(s)) {
+                let text = cleanupspec_asm::disassemble(&prog);
+                let back = cleanupspec_asm::assemble("rt", &text).expect("reassembles");
+                assert_eq!(prog.insts(), back.insts(), "seed {s}");
+                assert_eq!(prog.init_regs, back.init_regs, "seed {s}");
+            }
+        }
+    }
+}

@@ -13,70 +13,16 @@
 
 use cleanupspec::prelude::*;
 use cleanupspec_mem::rng::SplitMix64;
-use cleanupspec_suite::core_sim::datamem::DataMem;
-use cleanupspec_suite::core_sim::isa::{
-    AluOp, BranchCond, Inst, Operand, Pc, Program, LINK_REG, NUM_REGS,
-};
+use cleanupspec_suite::core_sim::isa::{AluOp, BranchCond, Operand, Pc, NUM_REGS};
+use cleanupspec_suite::core_sim::reference;
 
-/// Straightforward in-order interpreter over the micro-ISA.
-fn interpret(p: &Program, max_steps: usize) -> ([u64; NUM_REGS], DataMem) {
-    let mut regs = [0u64; NUM_REGS];
-    for (r, v) in &p.init_regs {
-        regs[r.index()] = *v;
-    }
-    let mut mem = DataMem::new();
-    for (a, v) in &p.init_mem {
-        mem.write(*a, *v);
-    }
-    let mut pc: Pc = p.entry;
-    for _ in 0..max_steps {
-        match p.fetch(pc) {
-            Inst::Nop | Inst::Fence | Inst::Clflush { .. } => pc += 1,
-            Inst::Halt => return (regs, mem),
-            Inst::Alu {
-                dst,
-                src1,
-                src2,
-                op,
-                ..
-            } => {
-                let a = match src1 {
-                    Operand::Reg(r) => regs[r.index()],
-                    Operand::Imm(v) => v as u64,
-                };
-                let b = match src2 {
-                    Operand::Reg(r) => regs[r.index()],
-                    Operand::Imm(v) => v as u64,
-                };
-                regs[dst.index()] = op.apply(a, b);
-                pc += 1;
-            }
-            Inst::Load { dst, base, offset } => {
-                let addr = Addr::new(regs[base.index()].wrapping_add(offset as u64));
-                regs[dst.index()] = mem.read(addr);
-                pc += 1;
-            }
-            Inst::Store { src, base, offset } => {
-                let addr = Addr::new(regs[base.index()].wrapping_add(offset as u64));
-                mem.write(addr, regs[src.index()]);
-                pc += 1;
-            }
-            Inst::Branch { src, cond, target } => {
-                pc = if cond.taken(regs[src.index()]) {
-                    target
-                } else {
-                    pc + 1
-                };
-            }
-            Inst::Jump { target } => pc = target,
-            Inst::Call { target } => {
-                regs[LINK_REG.index()] = (pc + 1) as u64;
-                pc = target;
-            }
-            Inst::Ret => pc = regs[LINK_REG.index()] as Pc,
-        }
-    }
-    panic!("reference interpreter exceeded {max_steps} steps");
+/// Final architectural registers from the shared in-order reference
+/// interpreter (`cleanupspec_core::reference`, also the ground truth for
+/// the `cs-smith` differential fuzzer).
+fn interpret(p: &Program, max_steps: usize) -> [u64; NUM_REGS] {
+    let r = reference::interpret(p, max_steps);
+    assert!(r.halted, "reference interpreter exceeded {max_steps} steps");
+    r.regs
 }
 
 /// A random but guaranteed-terminating program: a counted loop whose body
@@ -195,7 +141,7 @@ fn pipeline_matches_reference_interpreter() {
         let ops: Vec<BodyOp> = (0..n).map(|_| gen_body_op(&mut rng)).collect();
         let iters = 2 + rng.below(10);
         let p = build(&ops, iters);
-        let (ref_regs, _) = interpret(&p, 2_000_000);
+        let ref_regs = interpret(&p, 2_000_000);
         // Registers 0..30: r31 is the builder's scratch address register
         // and the link register, both still architectural — include it via
         // the reference too. We compare r0..r29 (the data registers).
@@ -258,7 +204,7 @@ mod property {
             iters in 2u64..12,
         ) {
             let p = build(&ops, iters);
-            let (ref_regs, _) = interpret(&p, 2_000_000);
+            let ref_regs = interpret(&p, 2_000_000);
             for mode in [
                 SecurityMode::NonSecure,
                 SecurityMode::CleanupSpec,
@@ -293,7 +239,7 @@ fn reference_and_pipeline_agree_on_fixed_kernel() {
         BodyOp::Alu(6, AluOp::Xor, 5, 3),
     ];
     let p = build(&ops, 10);
-    let (ref_regs, _) = interpret(&p, 100_000);
+    let ref_regs = interpret(&p, 100_000);
     let got = pipeline_regs(&p, SecurityMode::CleanupSpec);
     for r in 0..30usize {
         assert_eq!(got[r], ref_regs[r], "r{r}");

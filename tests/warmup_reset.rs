@@ -1,0 +1,119 @@
+//! Warm-up reset completeness (regression).
+//!
+//! `Sim::run_with_warmup` calls `System::reset_stats` at the end of the
+//! warm-up region. That reset used to clear only core and memory stats;
+//! scheme counters (cleanups, restores, ...) survived into the measured
+//! region and inflated every per-squash metric. These tests pin down the
+//! contract: after the reset, *every* stat group — core stats, memory
+//! stats, traffic counters, latency/occupancy histograms, and scheme
+//! counters — reads zero, while architectural and microarchitectural
+//! state stays warm.
+
+use cleanupspec::modes::SecurityMode;
+use cleanupspec::sim::SimBuilder;
+use cleanupspec::Simulator;
+use cleanupspec_suite::workloads::smith::{assemble_plan, plan};
+
+/// A squash-heavy multi-op fuzzer program: mispredicted branches guarding
+/// loads guarantee nonzero cleanup-scheme activity during warm-up.
+fn squashy_sim(seed: u64) -> Simulator {
+    let p = plan(seed);
+    let mut b = SimBuilder::new(SecurityMode::CleanupSpec).seed(seed);
+    for prog in assemble_plan(&p) {
+        b = b.program(prog);
+    }
+    b.build()
+}
+
+#[test]
+fn reset_clears_every_stat_group() {
+    let mut sim = squashy_sim(3);
+    sim.run_insts(5_000);
+
+    // Preconditions: the warm-up region exercised every stat group, so a
+    // zero after the reset means "cleared", not "never touched".
+    {
+        let sys = sim.system();
+        let c = sys.core_stats(0);
+        assert!(c.committed_insts > 0, "warm-up committed nothing");
+        assert!(c.squashes > 0, "warm-up never squashed (seed too tame)");
+        let m = sys.mem().stats();
+        assert!(
+            m.l1_hits + m.l2_hits + m.remote_hits + m.mem_loads > 0,
+            "warm-up issued no demand loads"
+        );
+        assert!(
+            m.load_latency.iter().map(|h| h.count()).sum::<u64>() > 0,
+            "warm-up recorded no load-latency samples"
+        );
+        assert!(m.sefe_occupancy.count() > 0, "no speculative allocations");
+        assert!(
+            sys.mem().traffic().total() > 0,
+            "warm-up produced no traffic"
+        );
+        let scheme_total: u64 = (0..1)
+            .flat_map(|i| sys.scheme(i).stat_counters())
+            .map(|(_, v)| v)
+            .sum();
+        assert!(scheme_total > 0, "warm-up never drove the cleanup engine");
+    }
+
+    sim.system_mut().reset_stats();
+
+    let sys = sim.system();
+    let c = sys.core_stats(0);
+    assert_eq!(c.cycles, 0, "core cycles survived the reset");
+    assert_eq!(c.committed_insts, 0, "committed_insts survived the reset");
+    assert_eq!(c.committed_loads + c.committed_stores, 0);
+    assert_eq!(c.squashes, 0, "squash count survived the reset");
+    assert_eq!(c.squashed_insts, 0);
+    assert_eq!(c.spec_issued_loads, 0);
+    assert_eq!(c.squash_cleanup_cycles, 0);
+    assert_eq!(
+        c.cleanup_duration.count(),
+        0,
+        "cleanup-duration histogram survived the reset"
+    );
+
+    let m = sys.mem().stats();
+    assert_eq!(
+        m.l1_hits + m.l2_hits + m.remote_hits + m.mem_loads + m.dummy_misses,
+        0,
+        "demand-load path counters survived the reset"
+    );
+    assert_eq!(m.stores + m.store_upgrades, 0);
+    assert_eq!(m.l1_evictions + m.l2_evictions + m.back_invals, 0);
+    assert_eq!(m.cleanup_invals + m.cleanup_restores, 0);
+    assert_eq!(m.dropped_fills + m.orphan_fills, 0);
+    assert_eq!(
+        m.load_latency.iter().map(|h| h.count()).sum::<u64>(),
+        0,
+        "load-latency histograms survived the reset"
+    );
+    assert_eq!(m.mshr_occupancy.count(), 0, "MSHR histogram survived");
+    assert_eq!(m.sefe_occupancy.count(), 0, "SEFE histogram survived");
+
+    assert_eq!(
+        sys.mem().traffic().total(),
+        0,
+        "traffic counters survived the reset"
+    );
+
+    for (name, v) in sys.scheme(0).stat_counters() {
+        assert_eq!(v, 0, "scheme counter `{name}` survived the reset");
+    }
+}
+
+#[test]
+fn measured_region_excludes_warmup_commits() {
+    // End-to-end through `run_with_warmup`: the measured instruction count
+    // must not include the warm-up commits.
+    let mut sim = squashy_sim(3);
+    sim.run_with_warmup(1_000, 1_500);
+    let c = sim.core_stats(0);
+    assert!(
+        c.committed_insts <= 1_500,
+        "measured region counted warm-up commits ({} > 1500)",
+        c.committed_insts
+    );
+}
