@@ -79,6 +79,7 @@ fn main() -> ExitCode {
     let reason = sim.run(RunLimits {
         max_cycles: 100_000_000,
         max_insts_per_core: max_insts,
+        ..RunLimits::default()
     });
     let r = sim.report();
     let s = &r.cores[0];

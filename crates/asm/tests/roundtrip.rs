@@ -63,6 +63,7 @@ fn assembled_meltdown_gadget_is_defended() {
         sim.run(RunLimits {
             max_cycles: 500_000,
             max_insts_per_core: u64::MAX,
+            ..RunLimits::default()
         });
         sim.drain(1_000);
         assert_eq!(sim.system().core(0).reg(Reg(5)), 1, "handler ran ({mode})");

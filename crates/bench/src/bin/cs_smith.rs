@@ -201,11 +201,12 @@ fn main() -> ExitCode {
     }
     let r = run_campaign(args.start, args.seeds, args.threads);
     println!(
-        "cs-smith: {} seed(s) x {} scheme runs, {} squashes, {} violation(s)",
+        "cs-smith: {} seed(s) x {} scheme runs, {} squashes, {} violation(s), {} panic(s)",
         r.seeds,
         cleanupspec_bench::fuzz::FUZZ_MODES.len() + 1, // + determinism replay
         r.squashes,
-        r.violations.len()
+        r.violations.len(),
+        r.panics
     );
     if r.clean() {
         if r.squashes == 0 {

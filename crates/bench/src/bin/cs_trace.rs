@@ -152,10 +152,12 @@ fn main() -> ExitCode {
     // Sinks: ring (dump) + audit always; Perfetto/JSONL when requested.
     let ring = Shared::new(RingSink::new(100_000));
     let audit = Shared::new(LeakageAuditSink::new());
+    // The sink knows its output path, so the trace is written even if the
+    // run panics (Drop flush) — not only on the happy path below.
     let perfetto = args
         .perfetto
         .as_ref()
-        .map(|_| Shared::new(PerfettoSink::new()));
+        .map(|p| Shared::new(PerfettoSink::with_output(p)));
     let mut builder = SimBuilder::new(args.mode)
         .program(program)
         .seed(args.seed)
@@ -184,6 +186,7 @@ fn main() -> ExitCode {
     sim.run(RunLimits {
         max_cycles: 100_000_000,
         max_insts_per_core: args.insts,
+        ..RunLimits::default()
     });
     // Let in-flight fills land: insecure modes leak precisely via fills
     // completing after a squash, and the audit must see them.
@@ -202,16 +205,16 @@ fn main() -> ExitCode {
 
     if let Some(path) = &args.perfetto {
         let p = perfetto.expect("sink exists when path given");
-        let json = p.with(|s| s.render());
-        if let Err(e) = std::fs::write(path, &json) {
-            eprintln!("cs-trace: cannot write {path}: {e}");
-            return ExitCode::FAILURE;
+        match p.with(|s| s.write_output()) {
+            Ok(bytes) => println!(
+                "perfetto   : {path} ({} events, {bytes} bytes)",
+                p.with(|s| s.len())
+            ),
+            Err(e) => {
+                eprintln!("cs-trace: cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
         }
-        println!(
-            "perfetto   : {path} ({} events, {} bytes)",
-            p.with(|s| s.len()),
-            json.len()
-        );
     }
     if let Some(path) = &args.jsonl {
         println!("jsonl      : {path}");

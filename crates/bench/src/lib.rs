@@ -9,11 +9,16 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod chaos;
 pub mod fmt;
 pub mod fuzz;
 pub mod microbench;
 pub mod runner;
 pub mod svg;
 
+pub use chaos::{
+    detection_matrix, probe_fault, render_matrix, run_chaos_campaign, ChaosOpts, ChaosSummary,
+    FaultProbe, MatrixRow,
+};
 pub use fuzz::{run_campaign, run_seed, shrink, CampaignResult, SeedVerdict, Violation};
 pub use runner::{run_all_spec, run_spec_workload, ExperimentConfig};

@@ -63,7 +63,18 @@ pub fn run_spec_workload(
     // Warm caches/predictor, reset statistics, then measure.
     let warmup = (cfg.insts / 4).clamp(10_000, 100_000);
     sim.run_with_warmup(warmup, cfg.insts);
-    sim.report()
+    let report = sim.report();
+    // A truncated run (cycle-limit exhaustion, livelock) must not pose as
+    // a measurement: its IPC and traffic numbers describe a different
+    // experiment than the table claims.
+    if let Some(stop) = report.stop.as_ref().filter(|s| !s.is_success()) {
+        eprintln!(
+            "warning: workload {} under {} stopped early ({stop}); report is truncated",
+            w.name,
+            mode.name()
+        );
+    }
+    report
 }
 
 /// Runs all 19 workloads under `mode`, in parallel. Results are returned

@@ -17,8 +17,9 @@ use cleanupspec_core::scheme::{
     CommitAction, CommittedLoad, LoadIssue, LoadIssuePolicy, SpeculationScheme, SquashInfo,
     SquashResponse, SquashedLoadState,
 };
+use cleanupspec_mem::error::SimError;
+use cleanupspec_mem::fault::FaultKind;
 use cleanupspec_mem::hierarchy::{LoadKind, LoadOutcome, LoadReq, MemHierarchy};
-use cleanupspec_mem::mshr::MshrFullError;
 use cleanupspec_mem::types::{CoreId, Cycle, LoadId};
 
 /// Statistics kept by the CleanupSpec scheme itself (on top of the
@@ -112,7 +113,7 @@ impl SpeculationScheme for NonSecure {
         &mut self,
         mem: &mut MemHierarchy,
         req: LoadIssue,
-    ) -> Result<LoadOutcome, MshrFullError> {
+    ) -> Result<LoadOutcome, SimError> {
         self.next_load += 1;
         mem.load(
             req.core,
@@ -240,20 +241,33 @@ impl CleanupSpec {
             })
             .collect();
         executed.sort_by_key(|e| std::cmp::Reverse(e.0));
-        for (line, sefe) in raced
+        let undo_list: Vec<_> = raced
             .into_iter()
             .chain(executed.into_iter().map(|(_, line, sefe)| (line, sefe)))
-        {
-            if sefe.l1_fill || sefe.l2_fill {
-                mem.cleanup_invalidate(info.core, line, sefe.l1_fill, sefe.l2_fill);
-                self.stats.invalidates += 1;
-                ops += 1;
-            }
-            if restore_evictions {
-                if let Some(victim) = sefe.l1_evict {
-                    mem.cleanup_restore(info.core, victim, sefe.l1_evict_dirty);
-                    self.stats.restores += 1;
+            .collect();
+        // Fault hook: DoubleUndo models a cleanup engine that fails to
+        // clear its walk pointer and re-runs the whole op list. The repeat
+        // invalidations hit lines the engine no longer owns; the leakage
+        // audit flags them as DoubleCleanup residue.
+        let passes =
+            if !undo_list.is_empty() && mem.fault_injector().should_fire(FaultKind::DoubleUndo) {
+                2
+            } else {
+                1
+            };
+        for _ in 0..passes {
+            for &(line, sefe) in &undo_list {
+                if sefe.l1_fill || sefe.l2_fill {
+                    mem.cleanup_invalidate(info.core, line, sefe.l1_fill, sefe.l2_fill);
+                    self.stats.invalidates += 1;
                     ops += 1;
+                }
+                if restore_evictions {
+                    if let Some(victim) = sefe.l1_evict {
+                        mem.cleanup_restore(info.core, victim, sefe.l1_evict_dirty);
+                        self.stats.restores += 1;
+                        ops += 1;
+                    }
                 }
             }
         }
@@ -290,7 +304,7 @@ impl SpeculationScheme for CleanupSpec {
         &mut self,
         mem: &mut MemHierarchy,
         req: LoadIssue,
-    ) -> Result<LoadOutcome, MshrFullError> {
+    ) -> Result<LoadOutcome, SimError> {
         self.next_load += 1;
         mem.load(
             req.core,
@@ -374,7 +388,7 @@ impl SpeculationScheme for NaiveInvalidate {
         &mut self,
         mem: &mut MemHierarchy,
         req: LoadIssue,
-    ) -> Result<LoadOutcome, MshrFullError> {
+    ) -> Result<LoadOutcome, SimError> {
         self.inner.issue_load(mem, req)
     }
 
@@ -482,7 +496,7 @@ impl InvisiSpec {
         ) {
             Ok(out) => (out.complete_at, out.path),
             // MSHRs saturated by update traffic: brief retry delay.
-            Err(MshrFullError) => (now + 2, cleanupspec_mem::mshr::LoadPath::L1Hit),
+            Err(_) => (now + 2, cleanupspec_mem::mshr::LoadPath::L1Hit),
         }
     }
 }
@@ -499,7 +513,7 @@ impl SpeculationScheme for InvisiSpec {
         &mut self,
         mem: &mut MemHierarchy,
         req: LoadIssue,
-    ) -> Result<LoadOutcome, MshrFullError> {
+    ) -> Result<LoadOutcome, SimError> {
         self.next_load += 1;
         let kind = if req.is_spec {
             LoadKind::Invisible
@@ -611,7 +625,7 @@ impl SpeculationScheme for DelayOnMiss {
         &mut self,
         mem: &mut MemHierarchy,
         req: LoadIssue,
-    ) -> Result<LoadOutcome, MshrFullError> {
+    ) -> Result<LoadOutcome, SimError> {
         self.next_load += 1;
         if req.is_spec && mem.l1(req.core).probe(req.line).is_none() {
             // A speculative L1 miss would change cache state: refuse it;
@@ -685,7 +699,7 @@ impl SpeculationScheme for DelaySpeculativeLoads {
         &mut self,
         mem: &mut MemHierarchy,
         req: LoadIssue,
-    ) -> Result<LoadOutcome, MshrFullError> {
+    ) -> Result<LoadOutcome, SimError> {
         self.next_load += 1;
         mem.load(
             req.core,

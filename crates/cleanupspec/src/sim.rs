@@ -11,6 +11,7 @@ use cleanupspec_core::isa::Program;
 use cleanupspec_core::pipeline::CoreConfig;
 use cleanupspec_core::stats::CoreStats;
 use cleanupspec_core::system::{RunLimits, StopReason, System};
+use cleanupspec_mem::fault::{FaultInjector, FaultPlan};
 use cleanupspec_mem::hierarchy::{LoadReq, MemConfig, MemHierarchy};
 use cleanupspec_mem::stats::{MemStats, MsgClass, Traffic};
 use cleanupspec_mem::types::{Addr, CoreId, Cycle, LoadId};
@@ -41,6 +42,7 @@ pub struct SimBuilder {
     core_cfg: CoreConfig,
     programs: Vec<Arc<Program>>,
     sinks: Vec<Box<dyn EventSink>>,
+    fault_plan: Option<FaultPlan>,
 }
 
 impl fmt::Debug for SimBuilder {
@@ -51,6 +53,7 @@ impl fmt::Debug for SimBuilder {
             .field("core_cfg", &self.core_cfg)
             .field("programs", &self.programs.len())
             .field("sinks", &self.sinks.len())
+            .field("fault_plan", &self.fault_plan)
             .finish()
     }
 }
@@ -64,6 +67,7 @@ impl SimBuilder {
             core_cfg: CoreConfig::default(),
             programs: Vec::new(),
             sinks: Vec::new(),
+            fault_plan: None,
         }
     }
 
@@ -114,6 +118,15 @@ impl SimBuilder {
         self
     }
 
+    /// Arms a deterministic fault-injection plan (cs-chaos): the hooks it
+    /// names sabotage the hierarchy and cleanup engine at their scheduled
+    /// opportunities. Testing infrastructure only.
+    #[must_use]
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
     /// Builds the simulator.
     ///
     /// # Panics
@@ -122,7 +135,10 @@ impl SimBuilder {
         assert!(!self.programs.is_empty(), "add at least one program");
         let mut mem_cfg = self.mode.apply_mem_config(self.mem_cfg);
         mem_cfg.num_cores = self.programs.len();
-        let mem = MemHierarchy::new(mem_cfg);
+        let mut mem = MemHierarchy::new(mem_cfg);
+        if let Some(plan) = self.fault_plan {
+            mem.set_fault_injector(FaultInjector::new(plan));
+        }
         let schemes = self
             .programs
             .iter()
@@ -139,6 +155,7 @@ impl SimBuilder {
             obs,
             probe_seq: 0,
             measure_base: 0,
+            last_stop: None,
         }
     }
 }
@@ -151,6 +168,7 @@ pub struct Simulator {
     obs: Observer,
     probe_seq: u64,
     measure_base: Cycle,
+    last_stop: Option<StopReason>,
 }
 
 impl Simulator {
@@ -173,19 +191,22 @@ impl Simulator {
 
     /// Runs with explicit limits.
     pub fn run(&mut self, limits: RunLimits) -> StopReason {
-        self.sys.run(limits)
+        let stop = self.sys.run(limits);
+        self.last_stop = Some(stop.clone());
+        stop
     }
 
     /// Runs until all cores halt (with a generous safety cycle cap).
     pub fn run_to_completion(&mut self) -> StopReason {
-        self.sys.run(RunLimits::default())
+        self.run(RunLimits::default())
     }
 
     /// Runs until each core commits `n` instructions or halts.
     pub fn run_insts(&mut self, n: u64) -> StopReason {
-        self.sys.run(RunLimits {
+        self.run(RunLimits {
             max_cycles: 400 * n + 1_000_000,
             max_insts_per_core: n,
+            ..RunLimits::default()
         })
     }
 
@@ -197,10 +218,16 @@ impl Simulator {
         let base = self.sys.now();
         self.sys.reset_stats();
         self.measure_base = base;
-        self.sys.run(RunLimits {
+        self.run(RunLimits {
             max_cycles: base + 400 * measure + 1_000_000,
             max_insts_per_core: measure,
+            ..RunLimits::default()
         })
+    }
+
+    /// How the most recent run stopped (`None` before the first run).
+    pub fn last_stop(&self) -> Option<&StopReason> {
+        self.last_stop.as_ref()
     }
 
     /// Statistics of core `i`.
@@ -286,6 +313,7 @@ impl Simulator {
         SimReport {
             mode: self.mode,
             cycles,
+            stop: self.last_stop.clone(),
             mem: self.sys.mem().stats().clone(),
             traffic: self.sys.mem().traffic().clone(),
             cores,
@@ -300,6 +328,11 @@ pub struct SimReport {
     pub mode: SecurityMode,
     /// Total cycles.
     pub cycles: Cycle,
+    /// How the most recent run stopped (`None` if the report was taken
+    /// before any run). `CycleLimit` and `Livelock` mean the workload did
+    /// NOT finish — consumers must not present such a report as a
+    /// completed measurement.
+    pub stop: Option<StopReason>,
     /// Memory-hierarchy statistics.
     pub mem: MemStats,
     /// Network-traffic counters.

@@ -268,6 +268,26 @@ impl Pipeline {
         self.regs[r.index()]
     }
 
+    /// Number of live ROB entries (livelock diagnostics).
+    pub fn rob_len(&self) -> usize {
+        self.rob.len()
+    }
+
+    /// `(seq, pc)` of the ROB head instruction, if any (livelock
+    /// diagnostics: the instruction the core is stuck behind).
+    pub fn rob_head(&self) -> Option<(u64, u64)> {
+        self.rob.front().map(|e| (e.seq, e.pc as u64))
+    }
+
+    /// Loads currently inflight in the load queue (livelock diagnostics).
+    pub fn inflight_loads(&self) -> usize {
+        self.lq
+            .iter()
+            .flatten()
+            .filter(|l| matches!(l.state, LqState::Inflight { .. }))
+            .count()
+    }
+
     /// Enables event tracing with a ring buffer of `capacity` events.
     pub fn enable_trace(&mut self, capacity: usize) {
         self.trace = Some(TraceBuffer::new(capacity));
@@ -1432,8 +1452,8 @@ impl Pipeline {
 mod tests {
     use super::*;
     use crate::isa::{AluOp, BranchCond, Operand, ProgramBuilder};
+    use cleanupspec_mem::error::SimError;
     use cleanupspec_mem::hierarchy::{LoadReq, MemConfig};
-    use cleanupspec_mem::mshr::MshrFullError;
 
     /// Minimal pass-through scheme used to unit-test the pipeline alone.
     #[derive(Debug)]
@@ -1447,7 +1467,7 @@ mod tests {
             &mut self,
             mem: &mut MemHierarchy,
             req: LoadIssue,
-        ) -> Result<cleanupspec_mem::hierarchy::LoadOutcome, MshrFullError> {
+        ) -> Result<cleanupspec_mem::hierarchy::LoadOutcome, SimError> {
             mem.load(req.core, req.line, req.now, LoadReq::non_spec(LoadId(0)))
         }
         fn commit_load(

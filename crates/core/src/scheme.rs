@@ -14,8 +14,9 @@
 //! 3. **Squash** — what happens to the cache state changes of squashed
 //!    loads (retained, dropped, or undone) and how long the core stalls.
 
+use cleanupspec_mem::error::SimError;
 use cleanupspec_mem::hierarchy::{LoadOutcome, MemHierarchy};
-use cleanupspec_mem::mshr::{LoadPath, MshrFullError, MshrToken, SefeRecord};
+use cleanupspec_mem::mshr::{LoadPath, MshrToken, SefeRecord};
 use cleanupspec_mem::types::{CoreId, Cycle, LineAddr, LoadId};
 
 /// When loads may be issued to the memory system.
@@ -146,12 +147,13 @@ pub trait SpeculationScheme: std::fmt::Debug {
     /// Issues a load to the hierarchy.
     ///
     /// # Errors
-    /// Propagates [`MshrFullError`] so the pipeline retries the load later.
+    /// Propagates [`SimError::MshrFull`] so the pipeline retries the load
+    /// later.
     fn issue_load(
         &mut self,
         mem: &mut MemHierarchy,
         req: LoadIssue,
-    ) -> Result<LoadOutcome, MshrFullError>;
+    ) -> Result<LoadOutcome, SimError>;
 
     /// Invoked once when a completed speculative load becomes
     /// *unsquashable* (no older unresolved branch) — InvisiSpec's
@@ -233,7 +235,7 @@ mod tests {
                 &mut self,
                 _mem: &mut MemHierarchy,
                 _req: LoadIssue,
-            ) -> Result<LoadOutcome, MshrFullError> {
+            ) -> Result<LoadOutcome, SimError> {
                 unimplemented!()
             }
             fn commit_load(

@@ -18,6 +18,12 @@ pub struct RunLimits {
     /// Stop once every core has committed at least this many instructions
     /// (or halted). `u64::MAX` disables the limit.
     pub max_insts_per_core: u64,
+    /// Forward-progress watchdog: if no core commits an instruction for
+    /// this many cycles, the run stops with [`StopReason::Livelock`] and a
+    /// diagnostic dump. `None` disables it. The default (200k cycles) is
+    /// orders of magnitude above any legitimate commit gap in this model
+    /// (DRAM round trips and cleanup stalls are hundreds of cycles).
+    pub watchdog: Option<Cycle>,
 }
 
 impl Default for RunLimits {
@@ -25,19 +31,150 @@ impl Default for RunLimits {
         RunLimits {
             max_cycles: 50_000_000,
             max_insts_per_core: u64::MAX,
+            watchdog: Some(200_000),
         }
     }
 }
 
 /// Why a run stopped.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub enum StopReason {
     /// Every core committed `Halt`.
     AllHalted,
     /// Every core reached the instruction budget (or halted).
     InstLimit,
-    /// The cycle budget expired.
+    /// The cycle budget expired before the workload finished — the run is
+    /// incomplete, and harnesses must report it as a failure, not silently
+    /// treat it like completion.
     CycleLimit,
+    /// The forward-progress watchdog fired: no core committed an
+    /// instruction for `RunLimits::watchdog` cycles. Carries a snapshot of
+    /// where every core was stuck.
+    Livelock(Box<DiagnosticDump>),
+}
+
+impl StopReason {
+    /// Short stable label (verdict lines, event fields, reports).
+    pub fn label(&self) -> &'static str {
+        match self {
+            StopReason::AllHalted => "all-halted",
+            StopReason::InstLimit => "inst-limit",
+            StopReason::CycleLimit => "cycle-limit",
+            StopReason::Livelock(_) => "livelock",
+        }
+    }
+
+    /// Whether the run ended the way a finite workload should: everything
+    /// halted, or an intentional instruction budget was reached. Cycle-limit
+    /// exhaustion and livelock are failures.
+    pub fn is_success(&self) -> bool {
+        matches!(self, StopReason::AllHalted | StopReason::InstLimit)
+    }
+}
+
+impl std::fmt::Display for StopReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StopReason::Livelock(d) => write!(f, "livelock ({})", d.one_line()),
+            other => f.write_str(other.label()),
+        }
+    }
+}
+
+/// Snapshot of per-core progress state taken when the watchdog fires.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct DiagnosticDump {
+    /// Cycle at which the watchdog fired.
+    pub at: Cycle,
+    /// Cycle of the last observed commit (on any core).
+    pub last_commit_at: Cycle,
+    /// The watchdog threshold that fired.
+    pub watchdog: Cycle,
+    /// Per-core diagnostics, one entry per core.
+    pub cores: Vec<CoreDiag>,
+}
+
+/// One core's slice of a [`DiagnosticDump`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct CoreDiag {
+    /// Core index.
+    pub core: usize,
+    /// Whether the core already halted.
+    pub halted: bool,
+    /// Instructions committed so far.
+    pub committed_insts: u64,
+    /// Live ROB entries.
+    pub rob_len: usize,
+    /// `(seq, pc)` of the ROB head — the instruction the core is stuck
+    /// behind — if the ROB is non-empty.
+    pub rob_head: Option<(u64, u64)>,
+    /// Loads inflight in the load queue.
+    pub inflight_loads: usize,
+    /// Occupied MSHR entries.
+    pub mshr_occupancy: usize,
+    /// Live speculation-tagged MSHR entries (pending SEFEs).
+    pub pending_sefes: usize,
+    /// The core's current CleanupSpec epoch.
+    pub epoch: u64,
+}
+
+impl DiagnosticDump {
+    /// Compact single-line form for verdicts and error strings.
+    pub fn one_line(&self) -> String {
+        let stuck: Vec<String> = self
+            .cores
+            .iter()
+            .filter(|c| !c.halted)
+            .map(|c| {
+                format!(
+                    "core{}: rob={} head={} mshr={} sefes={}",
+                    c.core,
+                    c.rob_len,
+                    match c.rob_head {
+                        Some((seq, pc)) => format!("#{seq}@pc={pc:#x}"),
+                        None => "-".to_string(),
+                    },
+                    c.mshr_occupancy,
+                    c.pending_sefes,
+                )
+            })
+            .collect();
+        format!(
+            "no commit since cycle {} (watchdog {}); {}",
+            self.last_commit_at,
+            self.watchdog,
+            stuck.join("; ")
+        )
+    }
+}
+
+impl std::fmt::Display for DiagnosticDump {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "livelock at cycle {}: no commit since cycle {} (watchdog {} cycles)",
+            self.at, self.last_commit_at, self.watchdog
+        )?;
+        for c in &self.cores {
+            writeln!(
+                f,
+                "  core{} {}: committed={} rob={} head={} lq-inflight={} mshr={} sefes={} epoch={}",
+                c.core,
+                if c.halted { "halted" } else { "stuck" },
+                c.committed_insts,
+                c.rob_len,
+                match c.rob_head {
+                    Some((seq, pc)) => format!("#{seq}@pc={pc:#x}"),
+                    None => "-".to_string(),
+                },
+                c.inflight_loads,
+                c.mshr_occupancy,
+                c.pending_sefes,
+                c.epoch,
+            )?;
+        }
+        Ok(())
+    }
 }
 
 /// A complete simulated system: cores + schemes + memory.
@@ -48,6 +185,7 @@ pub struct System {
     mem: MemHierarchy,
     dmem: DataMem,
     now: Cycle,
+    obs: cleanupspec_obs::Observer,
 }
 
 impl System {
@@ -82,6 +220,7 @@ impl System {
             mem,
             dmem,
             now: 0,
+            obs: cleanupspec_obs::Observer::disabled(),
         }
     }
 
@@ -109,6 +248,8 @@ impl System {
 
     /// Runs until a stop condition is met.
     pub fn run(&mut self, limits: RunLimits) -> StopReason {
+        let mut last_commit_at = self.now;
+        let mut last_committed: u64 = self.cores.iter().map(|c| c.stats().committed_insts).sum();
         loop {
             if self.cores.iter().all(|c| c.halted()) {
                 self.stamp_cycles();
@@ -127,7 +268,64 @@ impl System {
                 self.stamp_cycles();
                 return StopReason::CycleLimit;
             }
+            if let Some(wd) = limits.watchdog {
+                if self.now.saturating_sub(last_commit_at) >= wd {
+                    self.stamp_cycles();
+                    let dump = self.diagnostic_dump(last_commit_at, wd);
+                    self.emit_livelock(&dump);
+                    return StopReason::Livelock(Box::new(dump));
+                }
+            }
             self.tick();
+            let committed: u64 = self.cores.iter().map(|c| c.stats().committed_insts).sum();
+            if committed != last_committed {
+                last_committed = committed;
+                last_commit_at = self.now;
+            }
+        }
+    }
+
+    /// Snapshot of where every core is stuck (watchdog firing).
+    fn diagnostic_dump(&self, last_commit_at: Cycle, watchdog: Cycle) -> DiagnosticDump {
+        let cores = self
+            .cores
+            .iter()
+            .enumerate()
+            .map(|(i, c)| CoreDiag {
+                core: i,
+                halted: c.halted(),
+                committed_insts: c.stats().committed_insts,
+                rob_len: c.rob_len(),
+                rob_head: c.rob_head(),
+                inflight_loads: c.inflight_loads(),
+                mshr_occupancy: self.mem.mshr_occupancy(CoreId(i)),
+                pending_sefes: self.mem.sefe_occupancy(CoreId(i)),
+                epoch: u64::from(self.mem.epoch(CoreId(i)).raw()),
+            })
+            .collect();
+        DiagnosticDump {
+            at: self.now,
+            last_commit_at,
+            watchdog,
+            cores,
+        }
+    }
+
+    /// Emits one `Livelock` event per non-halted core through the event bus
+    /// so trace sinks (Perfetto, JSONL, ring buffers) record the stall.
+    fn emit_livelock(&self, dump: &DiagnosticDump) {
+        for c in dump.cores.iter().filter(|c| !c.halted) {
+            self.obs.emit(
+                self.now,
+                cleanupspec_obs::SimEvent::Livelock {
+                    core: c.core,
+                    stalled_for: dump.at - dump.last_commit_at,
+                    rob: c.rob_len as u64,
+                    head_pc: c.rob_head.map(|(_, pc)| pc).unwrap_or(0),
+                    mshr: c.mshr_occupancy as u64,
+                    sefes: c.pending_sefes as u64,
+                },
+            );
         }
     }
 
@@ -150,6 +348,7 @@ impl System {
         for c in &mut self.cores {
             c.set_observer(obs.clone());
         }
+        self.obs = obs;
     }
 
     fn stamp_cycles(&mut self) {
@@ -211,8 +410,8 @@ mod tests {
     use super::*;
     use crate::isa::{ProgramBuilder, Reg};
     use crate::scheme::{CommitAction, CommittedLoad, LoadIssue, SquashInfo, SquashResponse};
+    use cleanupspec_mem::error::SimError;
     use cleanupspec_mem::hierarchy::{LoadReq, MemConfig};
-    use cleanupspec_mem::mshr::MshrFullError;
     use cleanupspec_mem::types::LoadId;
 
     #[derive(Debug)]
@@ -225,7 +424,7 @@ mod tests {
             &mut self,
             mem: &mut MemHierarchy,
             req: LoadIssue,
-        ) -> Result<cleanupspec_mem::hierarchy::LoadOutcome, MshrFullError> {
+        ) -> Result<cleanupspec_mem::hierarchy::LoadOutcome, SimError> {
             mem.load(req.core, req.line, req.now, LoadReq::non_spec(LoadId(0)))
         }
         fn commit_load(
@@ -285,7 +484,7 @@ mod tests {
         );
         let reason = sys.run(RunLimits {
             max_cycles: 500,
-            max_insts_per_core: u64::MAX,
+            ..RunLimits::default()
         });
         assert_eq!(reason, StopReason::CycleLimit);
         assert_eq!(sys.core_stats(0).cycles, 500);
@@ -314,6 +513,7 @@ mod tests {
         let reason = sys.run(RunLimits {
             max_cycles: 10_000_000,
             max_insts_per_core: 5_000,
+            ..RunLimits::default()
         });
         assert_eq!(reason, StopReason::InstLimit);
         assert!(sys.core_stats(0).committed_insts >= 5_000);

@@ -3,6 +3,7 @@
 //! rollback.
 
 use crate::ceaser::Indexer;
+use crate::fault::{FaultInjector, FaultKind};
 use crate::replacement::{ReplacementKind, ReplacementPolicy};
 use crate::types::{CoreId, LineAddr, SpecTag};
 
@@ -188,6 +189,14 @@ pub struct SetAssocCache {
     group_ways: usize,
     skew_rng: crate::rng::SplitMix64,
     name: &'static str,
+    faults: FaultInjector,
+    /// Rolling digest over every (set, way) victim choice, plus the count.
+    /// Two runs differing only in the replacement RNG seed diverge here
+    /// quickly — unless replacement has (been faulted to become)
+    /// deterministic. The chaos oracle for `DeterministicL1Replacement`
+    /// compares this witness across salted runs.
+    victim_digest: u64,
+    victims: u64,
 }
 
 impl SetAssocCache {
@@ -227,12 +236,26 @@ impl SetAssocCache {
             skew_rng: crate::rng::SplitMix64::new(cfg.seed ^ 0x51ce),
             indexers,
             name,
+            faults: FaultInjector::disabled(),
+            victim_digest: 0,
+            victims: 0,
         })
     }
 
     /// Cache name (for diagnostics).
     pub fn name(&self) -> &'static str {
         self.name
+    }
+
+    /// Arms fault injection for this cache (the hierarchy attaches the
+    /// shared injector to the L1s, where `DeterministicL1Replacement` bites).
+    pub fn set_fault_injector(&mut self, faults: FaultInjector) {
+        self.faults = faults;
+    }
+
+    /// `(digest, count)` witness over all victim choices so far.
+    pub fn victim_witness(&self) -> (u64, u64) {
+        (self.victim_digest, self.victims)
     }
 
     /// Number of sets.
@@ -356,7 +379,14 @@ impl SetAssocCache {
             // conventional cache consults its replacement policy.
             if groups == 1 {
                 let set = self.set_of_group(line, 0);
-                let w = self.repl.victim(set);
+                let w = if self
+                    .faults
+                    .should_fire(FaultKind::DeterministicL1Replacement)
+                {
+                    0
+                } else {
+                    self.repl.victim(set)
+                };
                 let v = self.slot(set, w);
                 (
                     set,
@@ -385,6 +415,12 @@ impl SetAssocCache {
                 )
             }
         });
+        if evicted.is_some() {
+            self.victims += 1;
+            self.victim_digest = crate::rng::mix64(
+                self.victim_digest ^ crate::rng::mix64(((set as u64) << 16) ^ way as u64),
+            );
+        }
         *self.slot_mut(set, way) = CacheLine {
             line,
             state,
@@ -787,6 +823,64 @@ mod tests {
         assert!(cfg.checked_num_sets().is_err());
         let zero_ways = CacheConfig { ways: 0, ..cfg };
         assert!(zero_ways.checked_num_sets().is_err());
+    }
+
+    #[test]
+    fn deterministic_replacement_fault_pins_the_victim_choice() {
+        use crate::fault::{FaultInjector, FaultKind, FaultPlan};
+        // Two random-replacement caches with different seeds, both faulted:
+        // victim choices collapse to way 0, so the witnesses agree despite
+        // the differing RNG streams.
+        let mk = |seed: u64| {
+            let mut c = SetAssocCache::new(
+                "test",
+                CacheConfig {
+                    capacity_bytes: 4 * 64 * 2,
+                    ways: 2,
+                    replacement: ReplacementKind::Random,
+                    indexer: Indexer::Modulo,
+                    skews: 1,
+                    seed,
+                },
+            );
+            c.set_fault_injector(FaultInjector::new(FaultPlan::single(
+                FaultKind::DeterministicL1Replacement,
+            )));
+            for i in 0..32u64 {
+                c.install(LineAddr::new(i * 4), Mesi::Shared, false, None);
+            }
+            c.victim_witness()
+        };
+        let (da, na) = mk(1);
+        let (db, nb) = mk(999);
+        assert_eq!(na, 30);
+        assert_eq!(na, nb);
+        assert_eq!(da, db, "faulted victim streams must be identical");
+    }
+
+    #[test]
+    fn victim_witness_diverges_across_random_seeds() {
+        let mk = |seed: u64| {
+            let mut c = SetAssocCache::new(
+                "test",
+                CacheConfig {
+                    capacity_bytes: 4 * 64 * 2,
+                    ways: 2,
+                    replacement: ReplacementKind::Random,
+                    indexer: Indexer::Modulo,
+                    skews: 1,
+                    seed,
+                },
+            );
+            for i in 0..32u64 {
+                c.install(LineAddr::new(i * 4), Mesi::Shared, false, None);
+            }
+            c.victim_witness()
+        };
+        let (da, na) = mk(1);
+        let (db, nb) = mk(999);
+        assert_eq!(na, nb);
+        assert_ne!(da, db, "independent RNG streams should diverge");
     }
 
     #[test]

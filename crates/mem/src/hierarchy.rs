@@ -31,7 +31,9 @@
 use crate::cache::{CacheConfig, Evicted, GeometryError, Mesi, SetAssocCache};
 use crate::ceaser::Indexer;
 use crate::dram::Dram;
-use crate::mshr::{LoadPath, MshrEntry, MshrFile, MshrFullError, MshrState, MshrToken, SefeRecord};
+use crate::error::SimError;
+use crate::fault::{FaultInjector, FaultKind};
+use crate::mshr::{LoadPath, MshrEntry, MshrFile, MshrState, MshrToken, SefeRecord};
 use crate::replacement::ReplacementKind;
 use crate::stats::{LoadClass, MemStats, MsgClass, Traffic};
 use crate::types::{CoreId, Cycle, EpochId, LineAddr, LoadId, SpecTag};
@@ -111,6 +113,12 @@ pub struct MemConfig {
     pub window_protection: bool,
     /// Seed for randomized structures (replacement, CEASER keys).
     pub seed: u64,
+    /// Extra salt XORed into the per-core L1 seeds only. Two runs differing
+    /// solely in this salt draw different L1 replacement streams while every
+    /// other randomized structure (CEASER keys, L2 policy) stays identical —
+    /// the victim-randomness witness `cs-chaos` uses to detect
+    /// `DeterministicL1Replacement`.
+    pub repl_seed_salt: u64,
 }
 
 impl Default for MemConfig {
@@ -134,6 +142,7 @@ impl Default for MemConfig {
             mshrs_per_core: 64,
             window_protection: false,
             seed: 0x00C1_EA9A_57EC,
+            repl_seed_salt: 0,
         }
     }
 }
@@ -229,6 +238,7 @@ pub struct MemHierarchy {
     stats: MemStats,
     traffic: Traffic,
     obs: Observer,
+    faults: FaultInjector,
     /// Cycle of the most recent externally stamped operation; events from
     /// calls without a `now` parameter (cleanup ops, retires) are stamped
     /// with it. Exact in a live simulation, where `advance(now)` runs each
@@ -252,14 +262,15 @@ impl MemHierarchy {
     /// release builds.
     ///
     /// # Errors
-    /// Returns [`GeometryError`] if the core count is outside `1..=64` or
-    /// either cache level has an invalid geometry.
-    pub fn try_new(cfg: MemConfig) -> Result<Self, GeometryError> {
+    /// Returns [`SimError::Geometry`] if the core count is outside `1..=64`
+    /// or either cache level has an invalid geometry.
+    pub fn try_new(cfg: MemConfig) -> Result<Self, SimError> {
         if cfg.num_cores < 1 || cfg.num_cores > 64 {
             return Err(GeometryError::new(format!(
                 "num_cores must be in 1..=64, got {}",
                 cfg.num_cores
-            )));
+            ))
+            .into());
         }
         let l1 = (0..cfg.num_cores)
             .map(|c| {
@@ -271,7 +282,7 @@ impl MemHierarchy {
                         replacement: cfg.l1_replacement,
                         indexer: Indexer::Modulo,
                         skews: 1,
-                        seed: cfg.seed ^ (c as u64 + 1),
+                        seed: cfg.seed ^ (c as u64 + 1) ^ cfg.repl_seed_salt,
                     },
                 )
             })
@@ -305,9 +316,25 @@ impl MemHierarchy {
             stats: MemStats::default(),
             traffic: Traffic::default(),
             obs: Observer::disabled(),
+            faults: FaultInjector::disabled(),
             now_hint: 0,
             cfg,
         })
+    }
+
+    /// Arms fault injection, propagating the shared handle to the L1 caches
+    /// (where the `DeterministicL1Replacement` hook lives).
+    pub fn set_fault_injector(&mut self, faults: FaultInjector) {
+        for c in &mut self.l1 {
+            c.set_fault_injector(faults.clone());
+        }
+        self.faults = faults;
+    }
+
+    /// The fault injector threaded through this hierarchy (disabled unless
+    /// armed); the schemes consult it for scheme-level faults.
+    pub fn fault_injector(&self) -> &FaultInjector {
+        &self.faults
     }
 
     /// Attaches the event-bus observer, propagating it to every MSHR file.
@@ -400,6 +427,19 @@ impl MemHierarchy {
         self.mshr[core.index()].occupancy()
     }
 
+    /// Per-core count of live speculation-tagged MSHR entries — the pending
+    /// SEFEs (diagnostics, surfaced by the livelock dump).
+    pub fn sefe_occupancy(&self, core: CoreId) -> usize {
+        self.mshr[core.index()].spec_occupancy()
+    }
+
+    /// `(digest, count)` witness over one core's L1 victim choices (see
+    /// [`SetAssocCache::victim_witness`]); the chaos replacement oracle
+    /// compares these across salted runs.
+    pub fn l1_victim_witness(&self, core: CoreId) -> (u64, u64) {
+        self.l1[core.index()].victim_witness()
+    }
+
     // ------------------------------------------------------------------
     // Loads
     // ------------------------------------------------------------------
@@ -407,7 +447,7 @@ impl MemHierarchy {
     /// Issues a load for `line` from `core` at cycle `now`.
     ///
     /// # Errors
-    /// Returns [`MshrFullError`] when no MSHR entry is free; the core
+    /// Returns [`SimError::MshrFull`] when no MSHR entry is free; the core
     /// should retry on a later cycle.
     pub fn load(
         &mut self,
@@ -415,7 +455,7 @@ impl MemHierarchy {
         line: LineAddr,
         now: Cycle,
         req: LoadReq,
-    ) -> Result<LoadOutcome, MshrFullError> {
+    ) -> Result<LoadOutcome, SimError> {
         self.now_hint = now;
         self.mshr[core.index()].stamp(now);
         match req.kind {
@@ -468,7 +508,7 @@ impl MemHierarchy {
         line: LineAddr,
         now: Cycle,
         req: LoadReq,
-    ) -> Result<LoadOutcome, MshrFullError> {
+    ) -> Result<LoadOutcome, SimError> {
         let ci = core.index();
         let cls = Self::msg_class_for(req.kind);
 
@@ -538,7 +578,13 @@ impl MemHierarchy {
                 Some(owner) if owner != core => {
                     // Remote M/E line: servicing it downgrades the owner.
                     self.stats.classify(LoadClass::RemoteEM);
-                    if !req.allow_downgrade {
+                    // Fault hook: EarlyCoherenceDowngrade breaks GetS-Safe —
+                    // the speculative load downgrades the remote owner at
+                    // request time, exactly the coherence channel Sec. 3.5
+                    // closes. The opportunity is the refusal moment itself.
+                    let forced = !req.allow_downgrade
+                        && self.faults.should_fire(FaultKind::EarlyCoherenceDowngrade);
+                    if !req.allow_downgrade && !forced {
                         // GetS-Safe fails: NACK, no state change (Sec. 3.5).
                         self.stats.gets_safe_refusals += 1;
                         self.traffic.add(MsgClass::Coherence, 2);
@@ -557,8 +603,9 @@ impl MemHierarchy {
                             deferred: true,
                         });
                     }
-                    // Downgrade the owner now (at request time).
-                    self.downgrade_owner(owner, line);
+                    // Downgrade the owner now (at request time). A `forced`
+                    // downgrade is flagged speculative in the event record.
+                    self.downgrade_owner_as(owner, line, forced);
                     self.traffic.add(cls, 2);
                     self.traffic.add(MsgClass::Coherence, 2);
                     (
@@ -613,7 +660,7 @@ impl MemHierarchy {
                 orphan: auto_free,
                 gen: 0,
             })
-            .inspect_err(|_| {
+            .map_err(|_| {
                 // A speculative load with no free entry is a SEFE overflow:
                 // it retries rather than running unlogged (Section 3.3).
                 if req.spec {
@@ -625,6 +672,7 @@ impl MemHierarchy {
                         },
                     );
                 }
+                SimError::MshrFull { core }
             })?;
         self.stats
             .mshr_occupancy
@@ -650,6 +698,14 @@ impl MemHierarchy {
 
     /// Downgrades `owner`'s M/E copy of `line` to S (writeback if M).
     fn downgrade_owner(&mut self, owner: CoreId, line: LineAddr) {
+        self.downgrade_owner_as(owner, line, false);
+    }
+
+    /// Downgrade with an explicit speculation flag on the emitted event.
+    /// `spec` is true only when a *speculative* load forced the downgrade
+    /// (possible solely via the `EarlyCoherenceDowngrade` fault; correct
+    /// CleanupSpec always defers those) — the leakage audit flags it.
+    fn downgrade_owner_as(&mut self, owner: CoreId, line: LineAddr, spec: bool) {
         let oi = owner.index();
         if let Some(l) = self.l1[oi].probe_mut(line) {
             if l.state == Mesi::Modified {
@@ -666,6 +722,7 @@ impl MemHierarchy {
                 SimEvent::Downgrade {
                     owner: oi,
                     line: line.raw(),
+                    spec,
                 },
             );
         }
@@ -885,13 +942,25 @@ impl MemHierarchy {
     /// Collects the SEFE record of a completed miss, freeing the MSHR
     /// entry. Returns `None` if the entry is still pending or was dropped.
     pub fn collect(&mut self, token: MshrToken) -> Option<SefeRecord> {
-        let file = &mut self.mshr[token.core.index()];
-        let e = file.get(token)?;
-        if e.state != MshrState::Filled {
-            return None;
+        let ci = token.core.index();
+        let rec = {
+            let e = self.mshr[ci].get(token)?;
+            if e.state != MshrState::Filled {
+                return None;
+            }
+            e.record
+        };
+        // Fault hook: LeakMshrSlot hands back the record without freeing —
+        // the slot stays Filled forever and the file slowly exhausts.
+        if self.faults.should_fire(FaultKind::LeakMshrSlot) {
+            return Some(rec);
         }
-        let rec = e.record;
-        file.free(token);
+        self.mshr[ci].free(token);
+        // Fault hook: DropSefeEntry loses the side-effect bookkeeping — the
+        // load's installs will never be registered for cleanup.
+        if self.faults.should_fire(FaultKind::DropSefeEntry) {
+            return Some(SefeRecord::default());
+        }
         Some(rec)
     }
 
@@ -1123,6 +1192,11 @@ impl MemHierarchy {
     /// CleanupSpec invalidation of a transiently installed line
     /// (Section 3.3). `l1`/`l2` select which levels the load filled.
     pub fn cleanup_invalidate(&mut self, core: CoreId, line: LineAddr, l1: bool, l2: bool) {
+        // Fault hook: SkipTransientInvalidate silently drops the whole op —
+        // no event, no state change; the transient installs survive.
+        if self.faults.should_fire(FaultKind::SkipTransientInvalidate) {
+            return;
+        }
         self.obs.emit(
             self.now_hint,
             SimEvent::CleanupInval {
@@ -1148,7 +1222,15 @@ impl MemHierarchy {
             self.traffic.add(MsgClass::Cleanup, 1);
         }
         if l2 {
-            if let Some(prev) = self.l2.invalidate(line) {
+            // Fault hook: StaleCeaserIndex resolves the L2 leg with a stale
+            // index — the CleanupInval event above already told the world
+            // the op ran (and the traffic below is still charged), but the
+            // lookup misses the live set and the install survives. Unlike
+            // SkipTransientInvalidate, the event record looks clean, so
+            // only a state-level oracle can catch this one.
+            if self.faults.should_fire(FaultKind::StaleCeaserIndex) {
+                // no-op: wrong set probed, nothing found
+            } else if let Some(prev) = self.l2.invalidate(line) {
                 self.stats.cleanup_invals += 1;
                 // Inclusive: remove any L1 copies (window protection makes
                 // cross-core pickups of transient lines impossible, but the
@@ -1191,6 +1273,11 @@ impl MemHierarchy {
     /// copy — the dirty data is already safe below, and reclaiming
     /// ownership would violate single-writer.
     pub fn cleanup_restore(&mut self, core: CoreId, line: LineAddr, was_dirty: bool) {
+        // Fault hook: SkipVictimRestore silently drops the op — no event,
+        // no stats, no refetch; the victim's absence is the leak.
+        if self.faults.should_fire(FaultKind::SkipVictimRestore) {
+            return;
+        }
         self.stats.cleanup_restores += 1;
         self.traffic.add(MsgClass::Cleanup, 2);
         let ci = core.index();

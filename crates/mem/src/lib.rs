@@ -37,6 +37,8 @@
 pub mod cache;
 pub mod ceaser;
 pub mod dram;
+pub mod error;
+pub mod fault;
 pub mod hierarchy;
 pub mod mshr;
 pub mod replacement;
@@ -46,6 +48,8 @@ pub mod types;
 
 pub use cache::{CacheLine, GeometryError, Mesi, SetAssocCache};
 pub use ceaser::{CeaserCipher, Indexer};
+pub use error::SimError;
+pub use fault::{FaultCounters, FaultInjector, FaultKind, FaultPlan, FaultSpec};
 pub use hierarchy::{LoadKind, LoadOutcome, LoadReq, MemConfig, MemHierarchy, StoreOutcome};
 pub use mshr::{LoadPath, MshrFullError, MshrToken, SefeRecord};
 pub use replacement::ReplacementKind;

@@ -30,6 +30,10 @@ struct WatchState {
     squashed: bool,
     present_l1: bool,
     present_l2: bool,
+    /// A `cleanup-inval` already targeted this line and no fill has landed
+    /// since: a second inval is a double undo, which on real hardware would
+    /// invalidate state the cleanup walk no longer owns.
+    cleaned: bool,
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -72,6 +76,12 @@ pub enum ResidueKind {
     InstallL2,
     /// A victim of a speculative eviction was never restored.
     MissingRestore,
+    /// A speculative request downgraded a remote modified copy — forbidden
+    /// under GetS-Safe (the downgrade itself is a cross-core channel).
+    SpeculativeDowngrade,
+    /// A line was cleanup-invalidated twice with no fill in between: the
+    /// undo walk ran over state it no longer owned.
+    DoubleCleanup,
 }
 
 impl std::fmt::Display for ResidueKind {
@@ -80,6 +90,8 @@ impl std::fmt::Display for ResidueKind {
             ResidueKind::InstallL1 => "transient install survived in L1",
             ResidueKind::InstallL2 => "transient install survived in L2",
             ResidueKind::MissingRestore => "speculatively evicted victim never restored",
+            ResidueKind::SpeculativeDowngrade => "speculative request downgraded a remote M copy",
+            ResidueKind::DoubleCleanup => "line cleanup-invalidated twice without a refill",
         })
     }
 }
@@ -147,6 +159,9 @@ pub struct LeakageAuditSink {
     squashed_loads: u64,
     cleanup_invals: u64,
     cleanup_restores: u64,
+    /// Residues detected eagerly at record time (protocol violations that
+    /// are wrong the moment they happen, independent of how the run ends).
+    eager: Vec<AuditResidue>,
 }
 
 impl LeakageAuditSink {
@@ -168,7 +183,7 @@ impl LeakageAuditSink {
     /// insecure modes leak precisely via fills that complete after the
     /// squash, and those must be on the books before judging.
     pub fn report(&self) -> AuditReport {
-        let mut residue = Vec::new();
+        let mut residue = self.eager.clone();
         for (ci, c) in self.cores.iter().enumerate() {
             for (&line, w) in &c.watch {
                 if !w.squashed {
@@ -252,6 +267,7 @@ impl EventSink for LeakageAuditSink {
                         // The speculative load's own fill (insecure modes
                         // install untagged, so an open episode claims any
                         // fill on its line, tagged or not).
+                        w.cleaned = false;
                         match level {
                             CacheLevel::L1 => w.present_l1 = true,
                             CacheLevel::L2 => w.present_l2 = true,
@@ -355,13 +371,25 @@ impl EventSink for LeakageAuditSink {
             }
             SimEvent::CleanupInval { core, line, l1, l2 } => {
                 self.cleanup_invals += 1;
-                if let Some(w) = self.core(core).watch.get_mut(&line) {
+                let double = if let Some(w) = self.core(core).watch.get_mut(&line) {
+                    let double = w.cleaned;
+                    w.cleaned = true;
                     if l1 {
                         w.present_l1 = false;
                     }
                     if l2 {
                         w.present_l2 = false;
                     }
+                    double
+                } else {
+                    false
+                };
+                if double {
+                    self.eager.push(AuditResidue {
+                        core,
+                        line,
+                        kind: ResidueKind::DoubleCleanup,
+                    });
                 }
             }
             SimEvent::CleanupRestore { core, line } => {
@@ -380,6 +408,13 @@ impl EventSink for LeakageAuditSink {
                 // The load left the speculative window without a squash:
                 // its eviction (if any) is as architectural as its fill.
                 self.core(core).forgive_evictor(line);
+            }
+            SimEvent::Downgrade { owner, line, spec } if spec => {
+                self.eager.push(AuditResidue {
+                    core: owner,
+                    line,
+                    kind: ResidueKind::SpeculativeDowngrade,
+                });
             }
             _ => {}
         }
@@ -689,6 +724,69 @@ mod tests {
         // The correct path re-executes the same load non-speculatively.
         a.record(3, &issue(0, 7, false));
         assert!(a.report().clean());
+    }
+
+    #[test]
+    fn speculative_downgrade_is_dirty_architectural_is_not() {
+        let mut a = LeakageAuditSink::new();
+        a.record(
+            0,
+            &SimEvent::Downgrade {
+                owner: 1,
+                line: 3,
+                spec: false,
+            },
+        );
+        assert!(a.report().clean());
+        a.record(
+            1,
+            &SimEvent::Downgrade {
+                owner: 1,
+                line: 3,
+                spec: true,
+            },
+        );
+        let r = a.report();
+        assert_eq!(r.residue[0].kind, ResidueKind::SpeculativeDowngrade);
+        assert_eq!(r.residue[0].core, 1);
+    }
+
+    #[test]
+    fn double_cleanup_without_refill_is_dirty() {
+        let inval = SimEvent::CleanupInval {
+            core: 0,
+            line: 7,
+            l1: true,
+            l2: true,
+        };
+        let squash = SimEvent::SquashedLoad {
+            core: 0,
+            line: 7,
+            issued: true,
+        };
+        let mut a = LeakageAuditSink::new();
+        a.record(0, &issue(0, 7, true));
+        a.record(1, &fill(0, 7, CacheLevel::L1));
+        a.record(2, &squash);
+        a.record(3, &inval);
+        assert!(a.report().clean(), "single cleanup is fine");
+        a.record(4, &inval);
+        let r = a.report();
+        assert_eq!(r.residue[0].kind, ResidueKind::DoubleCleanup);
+
+        // A fill between the two invals resets the flag: two separate,
+        // correctly paired undo episodes.
+        let mut b = LeakageAuditSink::new();
+        b.record(0, &issue(0, 7, true));
+        b.record(1, &fill(0, 7, CacheLevel::L1));
+        b.record(2, &squash);
+        b.record(3, &inval);
+        b.record(4, &issue(0, 7, true));
+        b.record(5, &fill(0, 7, CacheLevel::L1));
+        b.record(6, &squash);
+        b.record(7, &inval);
+        let r = b.report();
+        assert!(r.clean(), "{r}");
     }
 
     #[test]

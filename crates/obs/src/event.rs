@@ -280,6 +280,27 @@ pub enum SimEvent {
         owner: usize,
         /// Downgraded line.
         line: u64,
+        /// Whether a *speculative* request forced the downgrade. Under
+        /// GetS-Safe this must never happen — the leakage audit flags any
+        /// `spec=true` downgrade as a residue.
+        spec: bool,
+    },
+    /// The forward-progress watchdog fired: this core committed nothing
+    /// for `stalled_for` cycles. One event per stuck core, mirroring the
+    /// `DiagnosticDump` carried by `StopReason::Livelock`.
+    Livelock {
+        /// Stuck core.
+        core: usize,
+        /// Cycles since the last commit on any core.
+        stalled_for: u64,
+        /// Live ROB entries.
+        rob: u64,
+        /// PC of the ROB head (0 if the ROB is empty).
+        head_pc: u64,
+        /// Occupied MSHR entries.
+        mshr: u64,
+        /// Live speculation-tagged MSHR entries (pending SEFEs).
+        sefes: u64,
     },
 
     // ------------------------------------------------------------ mshr
@@ -427,6 +448,7 @@ impl SimEvent {
             SimEvent::DummyMiss { .. } => "dummy-miss",
             SimEvent::GetsSafeDefer { .. } => "gets-safe-defer",
             SimEvent::Downgrade { .. } => "downgrade",
+            SimEvent::Livelock { .. } => "livelock",
             SimEvent::MshrAlloc { .. } => "mshr-alloc",
             SimEvent::MshrRetire { .. } => "mshr-retire",
             SimEvent::MshrDrop { .. } => "mshr-drop",
@@ -453,7 +475,8 @@ impl SimEvent {
             | SimEvent::SquashedLoad { .. }
             | SimEvent::Fault { .. }
             | SimEvent::CleanupStart { .. }
-            | SimEvent::CleanupEnd { .. } => Layer::Pipeline,
+            | SimEvent::CleanupEnd { .. }
+            | SimEvent::Livelock { .. } => Layer::Pipeline,
             SimEvent::Fill { .. }
             | SimEvent::Evict { .. }
             | SimEvent::BackInval { .. }
@@ -503,6 +526,7 @@ impl SimEvent {
             | SimEvent::CleanupRestore { core, .. }
             | SimEvent::EpochBump { core, .. }
             | SimEvent::SpecRetire { core, .. }
+            | SimEvent::Livelock { core, .. }
             | SimEvent::DramRead { core, .. } => Some(core),
             SimEvent::Downgrade { owner, .. } => Some(owner),
             SimEvent::CeaserRemap { .. } | SimEvent::DramWriteback { .. } => None,
@@ -654,9 +678,28 @@ impl SimEvent {
                 ("line", U64(line)),
                 ("owner", U64(owner as u64)),
             ],
-            SimEvent::Downgrade { owner, line } => {
-                vec![("owner", U64(owner as u64)), ("line", U64(line))]
+            SimEvent::Downgrade { owner, line, spec } => {
+                vec![
+                    ("owner", U64(owner as u64)),
+                    ("line", U64(line)),
+                    ("spec", Bool(spec)),
+                ]
             }
+            SimEvent::Livelock {
+                core,
+                stalled_for,
+                rob,
+                head_pc,
+                mshr,
+                sefes,
+            } => vec![
+                ("core", U64(core as u64)),
+                ("stalled_for", U64(stalled_for)),
+                ("rob", U64(rob)),
+                ("head_pc", U64(head_pc)),
+                ("mshr", U64(mshr)),
+                ("sefes", U64(sefes)),
+            ],
             SimEvent::MshrAlloc {
                 core,
                 line,
@@ -833,7 +876,19 @@ mod tests {
                 line: 3,
                 owner: 1,
             },
-            SimEvent::Downgrade { owner: 1, line: 3 },
+            SimEvent::Downgrade {
+                owner: 1,
+                line: 3,
+                spec: false,
+            },
+            SimEvent::Livelock {
+                core: 0,
+                stalled_for: 200_000,
+                rob: 4,
+                head_pc: 0x10,
+                mshr: 8,
+                sefes: 8,
+            },
             SimEvent::MshrAlloc {
                 core: 0,
                 line: 3,

@@ -10,15 +10,25 @@ use std::io::Write;
 /// Lines have the shape
 /// `{"cycle": N, "layer": "...", "kind": "...", ...fields}` — grep-able,
 /// `jq`-able, and stable across runs for a fixed seed.
+///
+/// The writer is flushed on [`EventSink::finish`] **and** on `Drop`, so a
+/// run that panics mid-simulation still leaves every recorded line on
+/// disk (a `BufWriter` dropped without flushing would otherwise truncate
+/// the trace at the last buffer boundary).
 pub struct JsonlSink<W: Write + Send> {
-    out: W,
+    /// `None` only after [`into_inner`](JsonlSink::into_inner) took the
+    /// writer out from under the `Drop` impl.
+    out: Option<W>,
     written: u64,
 }
 
 impl<W: Write + Send> JsonlSink<W> {
     /// Wraps a writer. Buffer it yourself (`BufWriter`) for file targets.
     pub fn new(out: W) -> Self {
-        JsonlSink { out, written: 0 }
+        JsonlSink {
+            out: Some(out),
+            written: 0,
+        }
     }
 
     /// Lines written so far.
@@ -26,9 +36,11 @@ impl<W: Write + Send> JsonlSink<W> {
         self.written
     }
 
-    /// Consumes the sink, returning the writer.
-    pub fn into_inner(self) -> W {
-        self.out
+    /// Consumes the sink, returning the flushed writer.
+    pub fn into_inner(mut self) -> W {
+        let mut out = self.out.take().expect("writer taken only here");
+        let _ = out.flush();
+        out
     }
 }
 
@@ -36,12 +48,22 @@ impl<W: Write + Send> EventSink for JsonlSink<W> {
     fn record(&mut self, cycle: u64, event: &SimEvent) {
         // I/O errors intentionally do not abort the simulation; they
         // surface as a short file, which downstream tooling detects.
-        let _ = writeln!(self.out, "{}", event_to_json(cycle, event));
-        self.written += 1;
+        if let Some(out) = self.out.as_mut() {
+            let _ = writeln!(out, "{}", event_to_json(cycle, event));
+            self.written += 1;
+        }
     }
 
     fn finish(&mut self) {
-        let _ = self.out.flush();
+        if let Some(out) = self.out.as_mut() {
+            let _ = out.flush();
+        }
+    }
+}
+
+impl<W: Write + Send> Drop for JsonlSink<W> {
+    fn drop(&mut self) {
+        self.finish();
     }
 }
 
@@ -49,6 +71,7 @@ impl<W: Write + Send> EventSink for JsonlSink<W> {
 mod tests {
     use super::*;
     use crate::event::{CacheLevel, SimEvent};
+    use std::io::BufWriter;
 
     #[test]
     fn one_line_per_event() {
@@ -70,5 +93,24 @@ mod tests {
         assert_eq!(lines.len(), 2);
         assert!(lines[0].contains("\"kind\": \"dram-writeback\""));
         assert!(lines[1].contains("\"cycle\": 5"));
+    }
+
+    #[test]
+    fn drop_flushes_buffered_writer() {
+        let path = std::env::temp_dir().join(format!("cs-jsonl-drop-{}.jsonl", std::process::id()));
+        {
+            let f = std::fs::File::create(&path).unwrap();
+            let mut sink = JsonlSink::new(BufWriter::new(f));
+            sink.record(1, &SimEvent::DramWriteback { line: 2 });
+            sink.record(2, &SimEvent::DramWriteback { line: 3 });
+            // No finish(): the Drop impl must flush the BufWriter.
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(
+            text.lines().count(),
+            2,
+            "drop lost buffered lines: {text:?}"
+        );
+        let _ = std::fs::remove_file(&path);
     }
 }

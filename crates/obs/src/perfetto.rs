@@ -29,15 +29,31 @@ fn pid(layer: Layer) -> u64 {
 }
 
 /// Accumulates events and renders them as Chrome trace-event JSON.
+///
+/// With an output path configured ([`PerfettoSink::with_output`]) the
+/// trace is written on [`EventSink::finish`] and — if `finish` never ran,
+/// e.g. the run panicked mid-simulation — on `Drop`, so a crashing run
+/// still leaves a loadable trace of everything up to the crash.
 #[derive(Debug, Default)]
 pub struct PerfettoSink {
     events: Vec<EventRecord>,
+    output: Option<std::path::PathBuf>,
+    flushed: bool,
 }
 
 impl PerfettoSink {
-    /// An empty sink.
+    /// An empty sink; the caller renders and writes the trace itself.
     pub fn new() -> Self {
         PerfettoSink::default()
+    }
+
+    /// An empty sink that writes its trace to `path` on finish/drop.
+    pub fn with_output(path: impl Into<std::path::PathBuf>) -> Self {
+        PerfettoSink {
+            events: Vec::new(),
+            output: Some(path.into()),
+            flushed: false,
+        }
     }
 
     /// Events captured so far.
@@ -48,6 +64,18 @@ impl PerfettoSink {
     /// Whether no events were captured.
     pub fn is_empty(&self) -> bool {
         self.events.is_empty()
+    }
+
+    /// Renders and writes the trace to the configured output path (no-op
+    /// without one). Returns the number of bytes written.
+    pub fn write_output(&mut self) -> std::io::Result<usize> {
+        let Some(path) = self.output.clone() else {
+            return Ok(0);
+        };
+        let json = self.render();
+        std::fs::write(path, &json)?;
+        self.flushed = true;
+        Ok(json.len())
     }
 
     /// Renders the full trace as a JSON string.
@@ -156,6 +184,18 @@ impl EventSink for PerfettoSink {
             event: *event,
         });
     }
+
+    fn finish(&mut self) {
+        let _ = self.write_output();
+    }
+}
+
+impl Drop for PerfettoSink {
+    fn drop(&mut self) {
+        if !self.flushed {
+            let _ = self.write_output();
+        }
+    }
 }
 
 #[cfg(test)]
@@ -239,5 +279,43 @@ mod tests {
         let j = PerfettoSink::new().render();
         assert!(crate::json::tests::balanced(&j), "{j}");
         assert!(j.contains("\"traceEvents\": []"), "{j}");
+    }
+
+    #[test]
+    fn drop_writes_configured_output() {
+        let path =
+            std::env::temp_dir().join(format!("cs-perfetto-drop-{}.json", std::process::id()));
+        {
+            let mut s = PerfettoSink::with_output(&path);
+            s.record(
+                7,
+                &SimEvent::Fill {
+                    core: 0,
+                    line: 0x40,
+                    level: CacheLevel::L2,
+                    spec: true,
+                },
+            );
+            // No finish(): the Drop impl must write the trace.
+        }
+        let j = std::fs::read_to_string(&path).unwrap();
+        assert!(crate::json::tests::balanced(&j), "{j}");
+        assert!(j.contains("\"traceEvents\""), "{j}");
+        assert!(j.contains("\"fill\""), "{j}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn finish_writes_once_and_drop_does_not_rewrite() {
+        let path =
+            std::env::temp_dir().join(format!("cs-perfetto-fin-{}.json", std::process::id()));
+        {
+            let mut s = PerfettoSink::with_output(&path);
+            s.record(1, &SimEvent::DramWriteback { line: 2 });
+            s.finish();
+            std::fs::remove_file(&path).unwrap();
+            // Drop must not resurrect the file after an explicit finish.
+        }
+        assert!(!path.exists());
     }
 }

@@ -187,6 +187,7 @@ pub fn run_spectre_v1(mode: SecurityMode, iters: usize, seed: u64) -> SpectreRes
         sim.run(RunLimits {
             max_cycles: 2_000_000,
             max_insts_per_core: u64::MAX,
+            ..RunLimits::default()
         });
         // Let any orphaned wrong-path fill land (the non-secure leak).
         sim.drain(500);
@@ -303,6 +304,7 @@ pub fn run_meltdown(mode: SecurityMode, iters: usize, seed: u64) -> MeltdownResu
         sim.run(RunLimits {
             max_cycles: 500_000,
             max_insts_per_core: u64::MAX,
+            ..RunLimits::default()
         });
         sim.drain(500);
         handler_ran &= sim.system().core(0).reg(Reg(6)) == 0x600D;
@@ -391,6 +393,7 @@ pub fn prime_probe_l1(mode: SecurityMode, seed: u64) -> PrimeProbeResult {
     sim.run(RunLimits {
         max_cycles: 100_000,
         max_insts_per_core: u64::MAX,
+        ..RunLimits::default()
     });
     sim.drain(1_000);
     // Probe.
@@ -472,6 +475,7 @@ pub fn coherence_probe(mode: SecurityMode, seed: u64) -> CoherenceProbeResult {
     sim.run(RunLimits {
         max_cycles: 200_000,
         max_insts_per_core: u64::MAX,
+        ..RunLimits::default()
     });
     sim.drain(1_000);
     let line = Addr::new(shared_addr).line();
@@ -558,6 +562,7 @@ mod tests {
         let reason = sim.run(cleanupspec_core::system::RunLimits {
             max_cycles: 200_000,
             max_insts_per_core: u64::MAX,
+            ..RunLimits::default()
         });
         assert_eq!(reason, cleanupspec_core::system::StopReason::AllHalted);
         sim.drain(1_000);

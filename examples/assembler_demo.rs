@@ -38,6 +38,7 @@ fn main() {
     sim.run(RunLimits {
         max_cycles: 100_000,
         max_insts_per_core: u64::MAX,
+        ..RunLimits::default()
     });
     sim.drain(1_000);
 

@@ -30,6 +30,7 @@ fn main() {
         sim.run(RunLimits {
             max_cycles: 2_000_000,
             max_insts_per_core: 50_000,
+            ..RunLimits::default()
         });
         sim.drain(2_000); // let in-flight fills land before auditing
         sim.finish_observer();

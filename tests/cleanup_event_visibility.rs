@@ -51,6 +51,7 @@ fn run_traced(
     sim.run(RunLimits {
         max_cycles: 200_000,
         max_insts_per_core: u64::MAX,
+        ..RunLimits::default()
     });
     sim.drain(2_000);
     sim.finish_observer();

@@ -124,6 +124,7 @@ fn pipeline_regs(p: &Program, mode: SecurityMode) -> Vec<u64> {
     let reason = sim.run(RunLimits {
         max_cycles: 3_000_000,
         max_insts_per_core: u64::MAX,
+        ..RunLimits::default()
     });
     assert_eq!(
         reason,

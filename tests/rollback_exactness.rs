@@ -59,6 +59,7 @@ fn run_gadget(
     sim.run(RunLimits {
         max_cycles: 200_000,
         max_insts_per_core: u64::MAX,
+        ..RunLimits::default()
     });
     sim.drain(2_000);
     let correct_path: std::collections::HashSet<u64> = [trigger_line].into();
@@ -136,6 +137,7 @@ fn no_spec_tags_survive_a_completed_run() {
     sim.run(RunLimits {
         max_cycles: 200_000,
         max_insts_per_core: u64::MAX,
+        ..RunLimits::default()
     });
     sim.drain(2_000);
     for l in sim.mem().l1(CoreId(0)).iter_valid() {

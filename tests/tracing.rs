@@ -15,6 +15,7 @@ fn trace_captures_meltdown_timeline() {
     sim.run(RunLimits {
         max_cycles: 200_000,
         max_insts_per_core: u64::MAX,
+        ..RunLimits::default()
     });
     let trace = sim.system().core(0).trace().expect("tracing enabled");
     let events: Vec<_> = trace.events().map(|r| r.event).collect();
@@ -46,6 +47,7 @@ fn trace_disabled_by_default_and_bounded_when_on() {
     sim.run(RunLimits {
         max_cycles: 200_000,
         max_insts_per_core: u64::MAX,
+        ..RunLimits::default()
     });
     let t = sim.system().core(0).trace().unwrap();
     assert!(t.events().count() <= 4, "ring buffer bound respected");

@@ -1,0 +1,104 @@
+//! Forward-progress watchdog regression tests.
+//!
+//! The watchdog turns a hung simulation into a diagnosable
+//! [`StopReason::Livelock`]. The positive test manufactures a genuine
+//! livelock with the `leak-mshr-slot` chaos fault (every completed miss
+//! leaks its MSHR entry, so a cache-missing loop exhausts a small MSHR
+//! file and the core retries a load forever); the negative test runs the
+//! same program cleanly and must finish without tripping the watchdog.
+
+use cleanupspec::modes::SecurityMode;
+use cleanupspec::sim::SimBuilder;
+use cleanupspec_asm::assemble;
+use cleanupspec_core::isa::Program;
+use cleanupspec_core::system::{RunLimits, StopReason};
+use cleanupspec_mem::fault::{FaultKind, FaultPlan};
+use cleanupspec_mem::hierarchy::MemConfig;
+
+const MSHRS: usize = 4;
+const WATCHDOG: u64 = 5_000;
+
+/// A loop whose every iteration misses the caches: load, flush, repeat.
+/// Each miss allocates (and, under `leak-mshr-slot`, permanently loses)
+/// one MSHR entry.
+fn miss_loop() -> Program {
+    assemble(
+        "miss-loop",
+        r"
+        .reg r1 = 0x40000
+        .reg r2 = 200
+    loop:
+        ld r3, [r1]
+        clflush [r1]
+        sub r2, r2, 1
+        bne r2, loop
+        halt
+        ",
+    )
+    .unwrap()
+}
+
+fn mem_cfg() -> MemConfig {
+    MemConfig {
+        mshrs_per_core: MSHRS,
+        ..MemConfig::default()
+    }
+}
+
+fn limits() -> RunLimits {
+    RunLimits {
+        max_cycles: 2_000_000,
+        max_insts_per_core: u64::MAX,
+        watchdog: Some(WATCHDOG),
+    }
+}
+
+#[test]
+fn leaked_mshr_slots_trip_the_watchdog_with_a_diagnostic_dump() {
+    let mut sim = SimBuilder::new(SecurityMode::CleanupSpec)
+        .program(miss_loop())
+        .mem_config(mem_cfg())
+        .fault_plan(FaultPlan::single(FaultKind::LeakMshrSlot))
+        .build();
+    let stop = sim.run(limits());
+    let StopReason::Livelock(dump) = stop else {
+        panic!("expected livelock, got {stop:?}");
+    };
+    assert!(!dump.cores.is_empty(), "dump must carry per-core state");
+    let c = &dump.cores[0];
+    assert!(!c.halted, "the stuck core cannot have halted");
+    assert_eq!(
+        c.mshr_occupancy, MSHRS,
+        "every MSHR entry should be leaked: {dump}"
+    );
+    assert!(c.rob_len > 0, "the core is stuck behind a ROB head: {dump}");
+    assert!(
+        c.rob_head.is_some(),
+        "a non-empty ROB reports its head: {dump}"
+    );
+    assert!(
+        dump.at - dump.last_commit_at >= WATCHDOG,
+        "watchdog fired before its threshold: at={} last_commit={}",
+        dump.at,
+        dump.last_commit_at
+    );
+    // The livelock is an explicit failure in the report, too.
+    let r = sim.report();
+    let stop = r.stop.expect("report carries the stop reason");
+    assert_eq!(stop.label(), "livelock");
+    assert!(!stop.is_success());
+}
+
+#[test]
+fn watchdog_does_not_false_positive_on_a_slow_but_live_run() {
+    // Same memory-bound program, no fault: every iteration takes a DRAM
+    // round trip but commits keep flowing, so the run must complete.
+    let mut sim = SimBuilder::new(SecurityMode::CleanupSpec)
+        .program(miss_loop())
+        .mem_config(mem_cfg())
+        .build();
+    let stop = sim.run(limits());
+    assert_eq!(stop, StopReason::AllHalted, "clean run must finish");
+    let r = sim.report();
+    assert!(r.stop.expect("stop recorded").is_success());
+}

@@ -137,6 +137,7 @@ fn window_protection_disabled_on_nonsecure() {
     sim.run(RunLimits {
         max_cycles: 100_000,
         max_insts_per_core: u64::MAX,
+        ..RunLimits::default()
     });
     sim.drain(500);
     // On the baseline, core 1 sees the line in the shared L2 immediately.
