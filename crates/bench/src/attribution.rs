@@ -1,0 +1,138 @@
+//! Differential CPI-stack attribution: given the same workload and seed
+//! run under a baseline (NonSecure) and a secure scheme, diff the two
+//! top-down cycle stacks to show *where the slowdown goes* — which
+//! [`StallCause`] buckets absorb the extra cycles the scheme costs.
+//!
+//! Cycles are normalized to CPKI (cycles per kilo-instruction) before
+//! differencing so runs of unequal length compare meaningfully: both
+//! sides committed the same instruction budget, but the secure side took
+//! more cycles to do it, and the CPKI delta per bucket attributes exactly
+//! that surplus.
+
+use cleanupspec::sim::SimReport;
+use cleanupspec_core::stats::StallCause;
+
+/// One row of an attribution diff: how a single stall bucket changed
+/// between the baseline and the secure run.
+#[derive(Clone, Copy, Debug)]
+pub struct StackDelta {
+    /// The stall bucket.
+    pub cause: StallCause,
+    /// Baseline cycles in this bucket (summed over cores).
+    pub base_cycles: u64,
+    /// Secure-run cycles in this bucket (summed over cores).
+    pub secure_cycles: u64,
+    /// Baseline cycles per kilo-instruction.
+    pub base_cpki: f64,
+    /// Secure-run cycles per kilo-instruction.
+    pub secure_cpki: f64,
+    /// `secure_cpki - base_cpki`; positive means the scheme added time
+    /// here, negative means time moved out of this bucket.
+    pub delta_cpki: f64,
+}
+
+/// Diffs two reports' CPI stacks, returning one row per [`StallCause`]
+/// sorted by descending `delta_cpki` (largest added overhead first).
+pub fn diff_stacks(base: &SimReport, secure: &SimReport) -> Vec<StackDelta> {
+    let bs = base.cpi_stack();
+    let ss = secure.cpi_stack();
+    let bi = base.total_insts();
+    let si = secure.total_insts();
+    let mut rows: Vec<StackDelta> = StallCause::ALL
+        .iter()
+        .map(|&cause| {
+            let b = bs.cpki(cause, bi);
+            let s = ss.cpki(cause, si);
+            StackDelta {
+                cause,
+                base_cycles: bs.get(cause),
+                secure_cycles: ss.get(cause),
+                base_cpki: b,
+                secure_cpki: s,
+                delta_cpki: s - b,
+            }
+        })
+        .collect();
+    rows.sort_by(|a, b| b.delta_cpki.total_cmp(&a.delta_cpki));
+    rows
+}
+
+/// The top `n` buckets that *gained* time under the secure scheme — the
+/// answer to "name the top overhead causes". Rows with a non-positive
+/// delta (unchanged or improved) are excluded.
+pub fn top_overheads(deltas: &[StackDelta], n: usize) -> Vec<StackDelta> {
+    deltas
+        .iter()
+        .filter(|d| d.delta_cpki > 0.0)
+        .take(n)
+        .copied()
+        .collect()
+}
+
+/// Sum of all positive deltas: total CPKI the scheme added, before the
+/// buckets it relieved are netted off.
+pub fn total_added_cpki(deltas: &[StackDelta]) -> f64 {
+    deltas.iter().map(|d| d.delta_cpki.max(0.0)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cleanupspec::modes::SecurityMode;
+    use cleanupspec::sim::SimBuilder;
+    use cleanupspec_workloads::spec::spec_workload;
+
+    fn run(mode: SecurityMode) -> SimReport {
+        let w = spec_workload("mcf").unwrap();
+        let seed = 7 ^ cleanupspec_mem::rng::mix_str(w.name);
+        let mut sim = SimBuilder::new(mode)
+            .program(w.build(seed))
+            .seed(seed)
+            .build();
+        sim.run_with_warmup(5_000, 20_000);
+        sim.report()
+    }
+
+    #[test]
+    fn diff_covers_every_cause_and_sorts_descending() {
+        let base = run(SecurityMode::NonSecure);
+        let secure = run(SecurityMode::CleanupSpec);
+        let deltas = diff_stacks(&base, &secure);
+        assert_eq!(deltas.len(), StallCause::ALL.len());
+        for pair in deltas.windows(2) {
+            assert!(pair[0].delta_cpki >= pair[1].delta_cpki);
+        }
+    }
+
+    #[test]
+    fn cleanupspec_overhead_has_named_nonzero_causes() {
+        let base = run(SecurityMode::NonSecure);
+        let secure = run(SecurityMode::CleanupSpec);
+        assert!(
+            secure.slowdown_vs(&base) > 1.0,
+            "mcf under cleanupspec should be slower than non-secure"
+        );
+        let top = top_overheads(&diff_stacks(&base, &secure), 3);
+        assert!(!top.is_empty(), "slowdown must be attributed somewhere");
+        for d in &top {
+            assert!(d.delta_cpki > 0.0);
+            assert!(
+                d.secure_cycles > 0,
+                "top overhead {} has zero cycles",
+                d.cause
+            );
+        }
+    }
+
+    #[test]
+    fn identical_runs_diff_to_zero() {
+        let a = run(SecurityMode::NonSecure);
+        let b = run(SecurityMode::NonSecure);
+        let deltas = diff_stacks(&a, &b);
+        for d in &deltas {
+            assert_eq!(d.base_cycles, d.secure_cycles, "{}", d.cause);
+            assert_eq!(d.delta_cpki, 0.0);
+        }
+        assert_eq!(total_added_cpki(&deltas), 0.0);
+    }
+}

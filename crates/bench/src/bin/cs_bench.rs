@@ -1,0 +1,448 @@
+//! `cs-bench` — regression harness: runs the workload suite across
+//! security modes and emits a schema-versioned `BENCH_*.json` with
+//! per-workload cycles, IPC, CPI stacks, slowdown vs NonSecure, and
+//! host-side throughput (wall seconds, KIPS, events/sec).
+//!
+//! ```sh
+//! cs-bench --out BENCH_full.json                 # full suite, MAIN modes
+//! cs-bench --smoke --out BENCH_smoke.json        # CI-sized subset
+//! cs-bench --modes cleanupspec --workloads gcc,mcf --insts 50000
+//! cs-bench --check BENCH_smoke.json              # schema + invariant
+//! cs-bench --compare OLD.json NEW.json --threshold 0.10
+//! ```
+//!
+//! `--compare` gates on IPC only: simulated cycle counts are
+//! deterministic per seed, so IPC is machine-independent, while the host
+//! metrics (wall, KIPS) vary by machine and are never gated.
+
+use cleanupspec::modes::SecurityMode;
+use cleanupspec::sim::{SimBuilder, SimReport};
+use cleanupspec_bench::bench_report::{
+    check_document, compare_documents, BenchReport, ModeSection, SCHEMA,
+};
+use cleanupspec_bench::fmt::table;
+use cleanupspec_bench::runner::ExperimentConfig;
+use cleanupspec_obs::{JsonValue, MetricsRegistry, RingSink, Shared};
+use cleanupspec_workloads::spec::{SpecWorkload, SPEC_WORKLOADS};
+use std::process::ExitCode;
+use std::time::Instant;
+
+/// CI-sized subset: one workload per behavior class (high-MLP, memory
+/// bound, squash heavy, compute bound, mixed).
+const SMOKE_WORKLOADS: [&str; 5] = ["gcc", "mcf", "lbm", "astar", "milc"];
+
+struct Args {
+    insts: Option<u64>,
+    seed: Option<u64>,
+    threads: Option<usize>,
+    modes: Vec<SecurityMode>,
+    workloads: Option<Vec<String>>,
+    out: String,
+    smoke: bool,
+    ring_capacity: usize,
+    threshold: f64,
+    check: Option<String>,
+    compare: Option<(String, String)>,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: cs-bench [--insts N] [--seed N] [--threads N] [--modes a,b] \
+         [--workloads a,b] [--out FILE] [--smoke] [--ring-capacity N]\n\
+         \x20      cs-bench --check FILE\n\
+         \x20      cs-bench --compare OLD NEW [--threshold FRAC]"
+    );
+    eprintln!(
+        "modes: {}",
+        SecurityMode::ALL
+            .iter()
+            .map(|m| m.name())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    ExitCode::FAILURE
+}
+
+fn parse_args() -> Result<Args, ExitCode> {
+    let mut args = Args {
+        insts: None,
+        seed: None,
+        threads: None,
+        modes: SecurityMode::MAIN.to_vec(),
+        workloads: None,
+        out: String::new(),
+        smoke: false,
+        ring_capacity: 100_000,
+        threshold: 0.10,
+        check: None,
+        compare: None,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--insts" => match it.next().and_then(|n| n.parse().ok()) {
+                Some(n) => args.insts = Some(n),
+                None => return Err(usage()),
+            },
+            "--seed" => match it.next().and_then(|n| n.parse().ok()) {
+                Some(n) => args.seed = Some(n),
+                None => return Err(usage()),
+            },
+            "--threads" => match it.next().and_then(|n| n.parse().ok()) {
+                Some(n) => args.threads = Some(n),
+                None => return Err(usage()),
+            },
+            "--ring-capacity" => match it.next().and_then(|n| n.parse().ok()) {
+                Some(n) => args.ring_capacity = n,
+                None => return Err(usage()),
+            },
+            "--threshold" => match it.next().and_then(|n| n.parse().ok()) {
+                Some(n) => args.threshold = n,
+                None => return Err(usage()),
+            },
+            "--modes" => match it.next() {
+                Some(list) => {
+                    let mut modes = Vec::new();
+                    for name in list.split(',') {
+                        match SecurityMode::ALL.into_iter().find(|m| m.name() == name) {
+                            Some(m) => modes.push(m),
+                            None => {
+                                eprintln!("cs-bench: unknown mode {name:?}");
+                                return Err(usage());
+                            }
+                        }
+                    }
+                    args.modes = modes;
+                }
+                None => return Err(usage()),
+            },
+            "--workloads" => match it.next() {
+                Some(list) => {
+                    args.workloads = Some(list.split(',').map(str::to_string).collect());
+                }
+                None => return Err(usage()),
+            },
+            "--out" => match it.next() {
+                Some(f) => args.out = f.clone(),
+                None => return Err(usage()),
+            },
+            "--smoke" => args.smoke = true,
+            "--check" => match it.next() {
+                Some(f) => args.check = Some(f.clone()),
+                None => return Err(usage()),
+            },
+            "--compare" => match (it.next(), it.next()) {
+                (Some(old), Some(new)) => args.compare = Some((old.clone(), new.clone())),
+                _ => return Err(usage()),
+            },
+            _ => return Err(usage()),
+        }
+    }
+    if args.out.is_empty() {
+        args.out = if args.smoke {
+            "BENCH_smoke.json".to_string()
+        } else {
+            "BENCH_full.json".to_string()
+        };
+    }
+    Ok(args)
+}
+
+fn load_doc(path: &str) -> Result<JsonValue, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    JsonValue::parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+/// One workload×mode run with an events ring attached, timed on the host
+/// wall clock. Returns (report, wall_secs, events_recorded, events_dropped).
+fn run_one(
+    w: &SpecWorkload,
+    mode: SecurityMode,
+    cfg: &ExperimentConfig,
+    ring_capacity: usize,
+) -> (SimReport, f64, u64, u64) {
+    let seed = cfg.seed ^ cleanupspec_mem::rng::mix_str(w.name);
+    let ring = Shared::new(RingSink::new(ring_capacity));
+    let mut sim = SimBuilder::new(mode)
+        .program(w.build(seed))
+        .seed(seed)
+        .sink(Box::new(ring.clone()))
+        .build();
+    let warmup = (cfg.insts / 4).clamp(10_000, 100_000);
+    let start = Instant::now();
+    sim.run_with_warmup(warmup, cfg.insts);
+    let wall = start.elapsed().as_secs_f64();
+    sim.finish_observer();
+    let report = sim.report();
+    if let Some(stop) = report.stop.as_ref().filter(|s| !s.is_success()) {
+        eprintln!(
+            "warning: {} under {} stopped early ({stop}); report is truncated",
+            w.name,
+            mode.name()
+        );
+    }
+    let (recorded, dropped) = ring.with(|s| (s.total_recorded(), s.dropped()));
+    (report, wall, recorded, dropped)
+}
+
+/// One row of a mode sweep: (workload name, report, wall seconds, events
+/// recorded, events dropped).
+type RunRow = (String, SimReport, f64, u64, u64);
+
+/// Runs `workloads` under `mode` in parallel chunks (same scheme as
+/// `runner::run_selected_spec`), preserving order.
+fn run_mode(
+    workloads: &[SpecWorkload],
+    mode: SecurityMode,
+    cfg: &ExperimentConfig,
+    ring_capacity: usize,
+) -> Vec<RunRow> {
+    let chunk = workloads.len().div_ceil(cfg.threads.max(1));
+    let mut out: Vec<Option<RunRow>> = vec![None; workloads.len()];
+    std::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for (ci, ws) in workloads.chunks(chunk).enumerate() {
+            let cfg = *cfg;
+            handles.push((
+                ci * chunk,
+                s.spawn(move || {
+                    ws.iter()
+                        .map(|w| {
+                            let (r, wall, rec, drop) = run_one(w, mode, &cfg, ring_capacity);
+                            (w.name.to_string(), r, wall, rec, drop)
+                        })
+                        .collect::<Vec<_>>()
+                }),
+            ));
+        }
+        for (base, h) in handles {
+            for (i, r) in h.join().expect("worker panicked").into_iter().enumerate() {
+                out[base + i] = Some(r);
+            }
+        }
+    });
+    out.into_iter()
+        .map(|o| o.expect("all slots filled"))
+        .collect()
+}
+
+fn run_suite(args: &Args) -> ExitCode {
+    let mut cfg = ExperimentConfig::default();
+    if args.smoke {
+        cfg.insts = 20_000;
+    }
+    if let Some(n) = args.insts {
+        cfg.insts = n;
+    }
+    if let Some(s) = args.seed {
+        cfg.seed = s;
+    }
+    if let Some(t) = args.threads {
+        cfg.threads = t;
+    }
+
+    let workloads: Vec<SpecWorkload> = match (&args.workloads, args.smoke) {
+        (Some(names), _) => {
+            let mut ws = Vec::new();
+            for n in names {
+                match SPEC_WORKLOADS.iter().find(|w| w.name == n.as_str()) {
+                    Some(w) => ws.push(*w),
+                    None => {
+                        eprintln!("cs-bench: unknown workload {n:?}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            ws
+        }
+        (None, true) => SPEC_WORKLOADS
+            .iter()
+            .filter(|w| SMOKE_WORKLOADS.contains(&w.name))
+            .copied()
+            .collect(),
+        (None, false) => SPEC_WORKLOADS.to_vec(),
+    };
+
+    // Slowdowns are relative to NonSecure; run it first even if the
+    // requested mode list omits it.
+    let baseline_mode = SecurityMode::NonSecure;
+    let mut modes = args.modes.clone();
+    modes.retain(|m| *m != baseline_mode);
+    modes.insert(0, baseline_mode);
+
+    println!(
+        "== cs-bench: {} workloads x {} modes, {} insts each ==",
+        workloads.len(),
+        modes.len(),
+        cfg.insts
+    );
+
+    let mut host = MetricsRegistry::new();
+    let suite_start = Instant::now();
+    let mut sections: Vec<ModeSection> = Vec::new();
+    let mut baseline_reports: Vec<SimReport> = Vec::new();
+    let (mut total_insts, mut total_events, mut total_dropped) = (0u64, 0u64, 0u64);
+    for mode in &modes {
+        let mode_start = Instant::now();
+        let runs = run_mode(&workloads, *mode, &cfg, args.ring_capacity);
+        host.add_timing(
+            &format!("mode.{}", mode.name()),
+            mode_start.elapsed().as_secs_f64(),
+        );
+        let mut entries = Vec::new();
+        for (name, report, wall, recorded, dropped) in runs {
+            total_insts += report.total_insts();
+            total_events += recorded;
+            total_dropped += dropped;
+            host.add("workloads_run", 1);
+            entries.push((name, report, wall));
+        }
+        if *mode == baseline_mode {
+            baseline_reports = entries.iter().map(|(_, r, _)| r.clone()).collect();
+        }
+        sections.push(ModeSection::build(*mode, entries, &baseline_reports));
+    }
+    let suite_wall = suite_start.elapsed().as_secs_f64();
+    host.add_timing("suite", suite_wall);
+    host.add("events_recorded", total_events);
+    host.add("events_dropped", total_dropped);
+    host.set_gauge("ring_capacity", args.ring_capacity as f64);
+    if suite_wall > 0.0 {
+        host.set_gauge("sim_kips", total_insts as f64 / 1000.0 / suite_wall);
+        host.set_gauge("events_per_sec", total_events as f64 / suite_wall);
+    }
+
+    // Human-readable summary before the artifact: slowdown per mode and
+    // where the secure modes spend their extra time.
+    let mut rows = Vec::new();
+    for s in &sections {
+        let attribution = s
+            .attribution
+            .iter()
+            .map(|d| format!("{} +{:.1}", d.cause.name(), d.delta_cpki))
+            .collect::<Vec<_>>()
+            .join(", ");
+        rows.push(vec![
+            s.mode.name().to_string(),
+            format!("{:.3}", s.geomean_slowdown()),
+            if attribution.is_empty() {
+                "-".to_string()
+            } else {
+                attribution
+            },
+        ]);
+    }
+    println!(
+        "{}",
+        table(
+            &["mode", "geomean slowdown", "top overheads (delta CPKI)"],
+            &rows
+        )
+    );
+    println!(
+        "host: {:.1}s wall, {:.0} KIPS, {:.0} events/s ({} dropped at ring capacity {})",
+        suite_wall,
+        host.gauge("sim_kips"),
+        host.gauge("events_per_sec"),
+        total_dropped,
+        args.ring_capacity
+    );
+
+    let report = BenchReport {
+        insts: cfg.insts,
+        seed: cfg.seed,
+        baseline_mode,
+        modes: sections,
+        host,
+    };
+    let json = report.to_json();
+    // Self-check the artifact before writing: a BENCH file that fails its
+    // own schema or cycle-accounting invariant must never reach CI.
+    let doc = match JsonValue::parse(&json) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("cs-bench: internal error: emitted invalid JSON: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = check_document(&doc) {
+        eprintln!("cs-bench: internal error: emitted document fails check: {e}");
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = std::fs::write(&args.out, &json) {
+        eprintln!("cs-bench: cannot write {}: {e}", args.out);
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {} ({} bytes, schema {SCHEMA})", args.out, json.len());
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => return e,
+    };
+
+    if let Some(path) = &args.check {
+        return match load_doc(path).and_then(|d| check_document(&d)) {
+            Ok(()) => {
+                println!("{path}: ok (schema {SCHEMA}, CPI stacks sum to cycles)");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("cs-bench: {path}: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    if let Some((old_path, new_path)) = &args.compare {
+        let docs = load_doc(old_path).and_then(|o| load_doc(new_path).map(|n| (o, n)));
+        let (old, new) = match docs {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("cs-bench: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let regressions = match compare_documents(&old, &new, args.threshold) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("cs-bench: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if regressions.is_empty() {
+            println!(
+                "no IPC regressions over {:.0}% ({old_path} -> {new_path})",
+                args.threshold * 100.0
+            );
+            return ExitCode::SUCCESS;
+        }
+        let rows: Vec<Vec<String>> = regressions
+            .iter()
+            .map(|r| {
+                vec![
+                    r.mode.clone(),
+                    r.workload.clone(),
+                    format!("{:.3}", r.old_ipc),
+                    format!("{:.3}", r.new_ipc),
+                    format!("-{:.1}%", r.loss() * 100.0),
+                ]
+            })
+            .collect();
+        eprintln!(
+            "cs-bench: {} IPC regression(s) over {:.0}%:",
+            regressions.len(),
+            args.threshold * 100.0
+        );
+        eprintln!(
+            "{}",
+            table(&["mode", "workload", "old ipc", "new ipc", "loss"], &rows)
+        );
+        return ExitCode::FAILURE;
+    }
+
+    run_suite(&args)
+}

@@ -18,7 +18,9 @@ use cleanupspec::sim::SimBuilder;
 use cleanupspec_asm::assemble;
 use cleanupspec_core::isa::Program;
 use cleanupspec_core::system::RunLimits;
-use cleanupspec_obs::{JsonlSink, LeakageAuditSink, PerfettoSink, RingSink, Shared};
+use cleanupspec_obs::{
+    JsonlSink, LeakageAuditSink, MetricsRegistry, PerfettoSink, RingSink, Shared,
+};
 use cleanupspec_workloads::attacks::{
     meltdown_program, spectre_v1_program, MeltdownConfig, SpectreConfig,
 };
@@ -36,6 +38,7 @@ struct Args {
     filter: Option<String>,
     dump: usize,
     seed: u64,
+    ring_capacity: usize,
 }
 
 fn mode_by_name(name: &str) -> Option<SecurityMode> {
@@ -46,7 +49,7 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: cs-trace [--mode <name>] [--insts N] [--seed N] \
          [--perfetto FILE] [--jsonl FILE] [--filter SUBSTR] [--dump N] \
-         <file.s | workload>"
+         [--ring-capacity N] <file.s | workload>"
     );
     eprintln!(
         "modes: {}",
@@ -72,6 +75,7 @@ fn parse_args() -> Result<Args, ExitCode> {
         filter: None,
         dump: 40,
         seed: 0xC1EA_2019,
+        ring_capacity: 100_000,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut it = argv.iter();
@@ -91,6 +95,10 @@ fn parse_args() -> Result<Args, ExitCode> {
             },
             "--dump" => match it.next().and_then(|n| n.parse().ok()) {
                 Some(n) => args.dump = n,
+                None => return Err(usage()),
+            },
+            "--ring-capacity" => match it.next().and_then(|n| n.parse().ok()) {
+                Some(n) => args.ring_capacity = n,
                 None => return Err(usage()),
             },
             "--perfetto" => match it.next() {
@@ -150,7 +158,7 @@ fn main() -> ExitCode {
     };
 
     // Sinks: ring (dump) + audit always; Perfetto/JSONL when requested.
-    let ring = Shared::new(RingSink::new(100_000));
+    let ring = Shared::new(RingSink::new(args.ring_capacity));
     let audit = Shared::new(LeakageAuditSink::new());
     // The sink knows its output path, so the trace is written even if the
     // run panics (Drop flush) — not only on the happy path below.
@@ -183,6 +191,10 @@ fn main() -> ExitCode {
     }
 
     let mut sim = builder.build();
+    // Host self-profiling: wall-clock the run, then export the derived
+    // rates as Perfetto counter tracks alongside the simulation's tracks.
+    let mut host = MetricsRegistry::new();
+    let start = std::time::Instant::now();
     sim.run(RunLimits {
         max_cycles: 100_000_000,
         max_insts_per_core: args.insts,
@@ -191,9 +203,33 @@ fn main() -> ExitCode {
     // Let in-flight fills land: insecure modes leak precisely via fills
     // completing after a squash, and the audit must see them.
     sim.drain(2_000);
-    sim.finish_observer();
+    let wall = start.elapsed().as_secs_f64();
+    host.add_timing("sim", wall);
 
     let r = sim.report();
+    let (events, dropped) = ring.with(|s| (s.total_recorded(), s.dropped()));
+    host.add("events_recorded", events);
+    host.add("events_dropped", dropped);
+    let kips = if wall > 0.0 {
+        r.total_insts() as f64 / 1000.0 / wall
+    } else {
+        0.0
+    };
+    let eps = if wall > 0.0 {
+        events as f64 / wall
+    } else {
+        0.0
+    };
+    host.set_gauge("sim_kips", kips);
+    host.set_gauge("events_per_sec", eps);
+    let end_ts = sim.system().now();
+    host.sample("sim_kips", end_ts, kips);
+    host.sample("events_per_sec", end_ts, eps);
+    if let Some(p) = &perfetto {
+        p.with(|s| s.add_host_counters(host.samples().to_vec()));
+    }
+    sim.finish_observer();
+
     println!("mode       : {}", args.mode.name());
     println!("cycles     : {}", r.cycles);
     println!("insts      : {}  (IPC {:.3})", r.total_insts(), r.ipc());
@@ -201,7 +237,11 @@ fn main() -> ExitCode {
         "squashes   : {}  cleanup: {} invals, {} restores, {} dropped fills",
         r.cores[0].squashes, r.mem.cleanup_invals, r.mem.cleanup_restores, r.mem.dropped_fills
     );
-    println!("events     : {}", ring.with(|s| s.total_recorded()));
+    println!(
+        "events     : {events}  ({dropped} dropped at ring capacity {})",
+        args.ring_capacity
+    );
+    println!("host       : {wall:.2}s wall, {kips:.0} KIPS, {eps:.0} events/s");
 
     if let Some(path) = &args.perfetto {
         let p = perfetto.expect("sink exists when path given");

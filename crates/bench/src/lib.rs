@@ -9,6 +9,8 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod attribution;
+pub mod bench_report;
 pub mod chaos;
 pub mod fmt;
 pub mod fuzz;
@@ -16,6 +18,10 @@ pub mod microbench;
 pub mod runner;
 pub mod svg;
 
+pub use attribution::{diff_stacks, top_overheads, StackDelta};
+pub use bench_report::{
+    check_document, compare_documents, BenchEntry, BenchReport, ModeSection, Regression, SCHEMA,
+};
 pub use chaos::{
     detection_matrix, probe_fault, render_matrix, run_chaos_campaign, ChaosOpts, ChaosSummary,
     FaultProbe, MatrixRow,

@@ -82,6 +82,22 @@ pub fn report_to_json(r: &SimReport) -> String {
             .float("mispredict_rate", c.mispredict_rate())
             .float("squash_pki", c.squash_pki());
         c.cleanup_duration.write_json(&mut w, "cleanup_duration");
+        // Top-down cycle accounting: one bucket per StallCause; the
+        // components sum exactly to the report's total cycles.
+        w.open_object(Some("cpi_stack"));
+        for (cause, cycles) in c.cpi_stack.iter() {
+            w.int(cause.name(), cycles);
+        }
+        w.int("total", c.cpi_stack.total()).close_object();
+        w.close_object();
+    }
+    w.close_array();
+    w.open_array("scheme_counters");
+    for core_counters in &r.scheme_counters {
+        w.open_object(None);
+        for (name, value) in core_counters {
+            w.int(name, *value);
+        }
         w.close_object();
     }
     w.close_array().close_object();
@@ -146,8 +162,29 @@ mod tests {
             "\"cores\"",
             "\"l1_miss_rate\"",
             "\"squash_pki\"",
+            "\"cpi_stack\"",
+            "\"scheme_counters\"",
+            "\"p95\"",
         ] {
             assert!(j.contains(key), "missing {key} in {j}");
+        }
+    }
+
+    #[test]
+    fn cpi_stack_in_json_sums_to_cycles() {
+        let r = sample_report();
+        let stack = r.cpi_stack();
+        assert_eq!(
+            stack.total(),
+            r.cycles * r.cores.len() as u64,
+            "per-core CPI stacks must sum to total cycles"
+        );
+        let j = report_to_json(&r);
+        for cause in cleanupspec_core::stats::StallCause::ALL {
+            assert!(
+                j.contains(&format!("\"{}\"", cause.name())),
+                "missing {cause}"
+            );
         }
     }
 

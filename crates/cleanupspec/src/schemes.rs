@@ -636,6 +636,7 @@ impl SpeculationScheme for DelayOnMiss {
                 path: cleanupspec_mem::mshr::LoadPath::L2Hit,
                 token: None,
                 deferred: true,
+                provenance: None,
             });
         }
         mem.load(

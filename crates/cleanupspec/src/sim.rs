@@ -310,6 +310,16 @@ impl Simulator {
         for c in &mut cores {
             c.cycles = cycles;
         }
+        let scheme_counters = (0..n)
+            .map(|i| {
+                self.sys
+                    .scheme(i)
+                    .stat_counters()
+                    .into_iter()
+                    .map(|(k, v)| (k.to_string(), v))
+                    .collect()
+            })
+            .collect();
         SimReport {
             mode: self.mode,
             cycles,
@@ -317,6 +327,7 @@ impl Simulator {
             mem: self.sys.mem().stats().clone(),
             traffic: self.sys.mem().traffic().clone(),
             cores,
+            scheme_counters,
         }
     }
 }
@@ -339,6 +350,10 @@ pub struct SimReport {
     pub traffic: Traffic,
     /// Per-core statistics.
     pub cores: Vec<CoreStats>,
+    /// Per-core scheme-internal counters as `(name, value)` pairs (e.g.
+    /// CleanupSpec's cleanup-op tallies), from
+    /// [`cleanupspec_core::scheme::SpeculationScheme::stat_counters`].
+    pub scheme_counters: Vec<Vec<(String, u64)>>,
 }
 
 impl SimReport {
@@ -358,10 +373,25 @@ impl SimReport {
 
     /// Execution-time slowdown of this report relative to a baseline run
     /// of the same work (cycles ratio, adjusted for committed work).
+    /// Returns 0.0 when the baseline did no measurable work (zero cycles),
+    /// instead of poisoning downstream JSON with inf/NaN.
     pub fn slowdown_vs(&self, baseline: &SimReport) -> f64 {
         let a = self.cycles as f64 / self.total_insts().max(1) as f64;
         let b = baseline.cycles as f64 / baseline.total_insts().max(1) as f64;
+        if b == 0.0 {
+            return 0.0;
+        }
         a / b
+    }
+
+    /// Merged CPI stack across all cores (component sums; still sums to
+    /// `cycles * cores.len()`).
+    pub fn cpi_stack(&self) -> cleanupspec_core::stats::CpiStack {
+        let mut total = cleanupspec_core::stats::CpiStack::new();
+        for c in &self.cores {
+            total.merge(&c.cpi_stack);
+        }
+        total
     }
 
     /// Network-traffic ratio vs a baseline (Figure 4b).

@@ -17,9 +17,9 @@ use crate::scheme::{
     CommitAction, CommittedLoad, LoadIssue, LoadIssuePolicy, SpeculationScheme, SquashInfo,
     SquashedLoad, SquashedLoadState,
 };
-use crate::stats::{CoreStats, SquashedClass};
+use crate::stats::{CoreStats, SquashedClass, StallCause};
 use crate::trace::{TraceBuffer, TraceEvent};
-use cleanupspec_mem::hierarchy::MemHierarchy;
+use cleanupspec_mem::hierarchy::{MemHierarchy, MissProvenance};
 use cleanupspec_mem::mshr::{LoadPath, MshrToken, SefeRecord};
 use cleanupspec_mem::stats::MsgClass;
 use cleanupspec_mem::types::{Addr, CoreId, Cycle, LineAddr, LoadId};
@@ -129,6 +129,8 @@ enum LqState {
         token: Option<MshrToken>,
         path: LoadPath,
         issued_spec: bool,
+        /// Scheme-overhead attribution of the miss (cycle accounting).
+        prov: Option<MissProvenance>,
     },
     Done {
         line: Option<LineAddr>,
@@ -189,6 +191,13 @@ pub struct Pipeline {
     fetch_halted: bool,
     halted: bool,
     fetch_stall_until: Cycle,
+    /// End of the scheme's post-squash cleanup stall (the slice of
+    /// `fetch_stall_until` owed to cleanup rather than the plain redirect
+    /// penalty) — cycle accounting charges it to `CleanupInProgress`.
+    cleanup_stall_until: Cycle,
+    /// A load failed to issue this cycle because the MSHR/SEFE file was
+    /// full (reset at the top of every tick; cycle accounting reads it).
+    mshr_blocked: bool,
     squash: SquashPhase,
     /// A fatal (unhandled) fault was raised: halt once its cleanup is done.
     halt_after_squash: bool,
@@ -218,6 +227,8 @@ impl Pipeline {
             fetch_halted: false,
             halted: false,
             fetch_stall_until: 0,
+            cleanup_stall_until: 0,
+            mshr_blocked: false,
             squash: SquashPhase::Running,
             halt_after_squash: false,
             load_id_ctr: 0,
@@ -306,6 +317,10 @@ impl Pipeline {
     }
 
     /// Advances the core by one cycle against the shared memory system.
+    ///
+    /// Every call charges exactly one cycle to the top-down CPI stack
+    /// ([`CoreStats::cpi_stack`]): the per-core stack sums to the number
+    /// of ticks, which the system runner keeps equal to elapsed cycles.
     pub fn tick(
         &mut self,
         scheme: &mut dyn SpeculationScheme,
@@ -314,8 +329,10 @@ impl Pipeline {
         now: Cycle,
     ) {
         if self.halted {
+            self.stats.cpi_stack.charge(StallCause::Halted);
             return;
         }
+        self.mshr_blocked = false;
         self.lq_held.retain(|&c| c > now);
         self.complete(mem, now);
         // Squash handling runs BEFORE the visibility scan: when a branch
@@ -324,13 +341,85 @@ impl Pipeline {
         // unsquashable for one cycle).
         self.process_squash(scheme, mem, now);
         self.visibility_scan(scheme, mem, now);
+        let committed_before = self.stats.committed_insts;
         self.commit(scheme, mem, dmem, now);
+        let committed = self.stats.committed_insts - committed_before;
         let issue_blocked = matches!(self.squash, SquashPhase::WaitInflight { .. })
             && scheme.stalls_issue_during_cleanup();
         if !issue_blocked {
             self.issue(scheme, mem, dmem, now);
         }
         self.fetch(now);
+        let cause = self.classify_cycle(now, committed);
+        self.stats.cpi_stack.charge(cause);
+    }
+
+    /// Charges one cycle to the `Harness` bucket: the system runner calls
+    /// this for cycles it advances without ticking the cores (priming,
+    /// probing, and draining phases), keeping the CPI-stack total equal to
+    /// elapsed cycles.
+    pub fn note_harness_cycle(&mut self) {
+        self.stats.cpi_stack.charge(StallCause::Harness);
+    }
+
+    /// Attributes one committless cycle to the single dominant cause, in
+    /// top-down priority order: the squash/cleanup machinery first, then
+    /// whatever the ROB head is waiting on.
+    fn classify_cycle(&self, now: Cycle, committed: u64) -> StallCause {
+        if committed > 0 {
+            return StallCause::Commit;
+        }
+        if matches!(self.squash, SquashPhase::WaitInflight { .. }) {
+            return StallCause::WaitInflight;
+        }
+        let Some(head) = self.rob.front() else {
+            // Empty ROB: the front end owns the cycle — either the scheme's
+            // post-squash cleanup stall or an ordinary fetch bubble.
+            return if now < self.cleanup_stall_until {
+                StallCause::CleanupInProgress
+            } else {
+                StallCause::Frontend
+            };
+        };
+        if head.faulting {
+            // Deferred permission check in flight (Meltdown race window).
+            return StallCause::Exec;
+        }
+        if head.status == Status::Done {
+            if head.commit_ready_at.is_some_and(|at| now < at) {
+                return StallCause::SchemeCommitStall;
+            }
+            return StallCause::Exec;
+        }
+        if head.inst.is_load() {
+            let lqe = head
+                .lq
+                .and_then(|li| self.lq[li])
+                .filter(|l| l.seq == head.seq);
+            return match lqe.map(|l| l.state) {
+                Some(LqState::Inflight { prov, path, .. }) => match prov {
+                    Some(MissProvenance::TransientInval) => StallCause::TransientInvalidate,
+                    Some(MissProvenance::RandomRepl) => StallCause::RandomReplMiss,
+                    None => match path {
+                        LoadPath::Mem => StallCause::LoadMem,
+                        LoadPath::L2Hit | LoadPath::RemoteL1 | LoadPath::DummyMiss => {
+                            StallCause::LoadL2
+                        }
+                        LoadPath::L1Hit => StallCause::Exec,
+                    },
+                },
+                Some(LqState::Deferred { .. }) => StallCause::SchemeDefer,
+                _ if self.mshr_blocked => StallCause::SefePressure,
+                _ => StallCause::Exec,
+            };
+        }
+        if matches!(head.inst, Inst::Store { .. }) {
+            return StallCause::StoreBuffer;
+        }
+        if self.rob.len() >= self.cfg.rob_entries {
+            return StallCause::RobFull;
+        }
+        StallCause::Exec
     }
 
     // ------------------------------------------------------------------
@@ -564,6 +653,7 @@ impl Pipeline {
                     },
                 );
                 self.fetch_stall_until = self.fetch_stall_until.max(resume);
+                self.cleanup_stall_until = self.cleanup_stall_until.max(resume);
                 if self.halt_after_squash {
                     self.halted = true;
                 }
@@ -1171,6 +1261,7 @@ impl Pipeline {
                                     token: out.token,
                                     path: out.path,
                                     issued_spec: is_spec,
+                                    prov: out.provenance,
                                 },
                             });
                             if is_spec {
@@ -1185,6 +1276,7 @@ impl Pipeline {
                         }
                         Err(_) => {
                             // MSHRs full: retry next cycle.
+                            self.mshr_blocked = true;
                             budget -= 1;
                         }
                     }

@@ -4,6 +4,189 @@
 use cleanupspec_mem::types::Cycle;
 use cleanupspec_obs::Histogram;
 
+/// Top-down attribution of one core cycle — the reason the core did (or
+/// could not do) useful work that cycle.
+///
+/// The pipeline charges **exactly one** cause per core per cycle, so the
+/// per-cause totals in [`CpiStack`] sum exactly to the cycles simulated:
+/// the invariant `cpi_stack.total() == CoreStats::cycles` holds for every
+/// report and is asserted by the `cpi_stack` integration tests.
+///
+/// The first block is the classic top-down taxonomy; the second block is
+/// the CleanupSpec-specific overhead causes the paper's ~5.1% slowdown
+/// claim decomposes into (threaded from the scheme seam and the memory
+/// hierarchy's miss-provenance tracking).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[repr(usize)]
+pub enum StallCause {
+    /// At least one instruction committed this cycle (useful work).
+    Commit,
+    /// ROB empty: the front end is refilling (redirect penalty, fetch
+    /// stalls, program startup).
+    Frontend,
+    /// Head is executing and dispatch is blocked on a full ROB.
+    RobFull,
+    /// Head is executing (ALU latency, L1-hit load latency, branches).
+    Exec,
+    /// Head is a load being serviced by the L2 / a remote L1 / a dummy
+    /// miss.
+    LoadL2,
+    /// Head is a load being serviced by DRAM.
+    LoadMem,
+    /// Head is a store (or dispatch is blocked on a full store queue).
+    StoreBuffer,
+    /// Head is done but commit is gated — by the scheme (InvisiSpec
+    /// update loads) or a deferred permission check (Meltdown window).
+    SchemeCommitStall,
+    /// Squash pending: waiting for older correct-path inflight loads to
+    /// complete before cleanup may run (Section 3.4, Figure 14).
+    WaitInflight,
+    /// Front end stalled by an in-progress cleanup (the scheme's
+    /// `resume_at` extends past the redirect penalty).
+    CleanupInProgress,
+    /// Head is a load deferred by GetS-Safe, waiting to become
+    /// unsquashable (Section 3.5).
+    SchemeDefer,
+    /// Head is a load missing on a line that last left this L1 via a
+    /// cleanup (transient) invalidation — a miss the undo itself caused.
+    TransientInvalidate,
+    /// Head is a load missing on a line that last left this L1 via random
+    /// replacement — the extra misses CleanupSpec's L1-Random policy
+    /// costs over LRU.
+    RandomReplMiss,
+    /// Head is an unissued load and an MSHR/SEFE allocation failed this
+    /// cycle (Section 3.3 overflow back-pressure).
+    SefePressure,
+    /// The core has committed its `Halt` (multi-core runs: other cores
+    /// are still working).
+    Halted,
+    /// Harness phase: the memory system advanced without ticking the
+    /// cores (attack probe/flush/drain measurement cycles).
+    Harness,
+}
+
+impl StallCause {
+    /// Every cause, in display order.
+    pub const ALL: [StallCause; 16] = [
+        StallCause::Commit,
+        StallCause::Frontend,
+        StallCause::RobFull,
+        StallCause::Exec,
+        StallCause::LoadL2,
+        StallCause::LoadMem,
+        StallCause::StoreBuffer,
+        StallCause::SchemeCommitStall,
+        StallCause::WaitInflight,
+        StallCause::CleanupInProgress,
+        StallCause::SchemeDefer,
+        StallCause::TransientInvalidate,
+        StallCause::RandomReplMiss,
+        StallCause::SefePressure,
+        StallCause::Halted,
+        StallCause::Harness,
+    ];
+
+    /// Stable snake-case label (JSON keys, report tables).
+    pub fn name(self) -> &'static str {
+        match self {
+            StallCause::Commit => "commit",
+            StallCause::Frontend => "frontend",
+            StallCause::RobFull => "rob_full",
+            StallCause::Exec => "exec",
+            StallCause::LoadL2 => "load_l2",
+            StallCause::LoadMem => "load_mem",
+            StallCause::StoreBuffer => "store_buffer",
+            StallCause::SchemeCommitStall => "scheme_commit_stall",
+            StallCause::WaitInflight => "wait_inflight",
+            StallCause::CleanupInProgress => "cleanup_in_progress",
+            StallCause::SchemeDefer => "gets_safe_defer",
+            StallCause::TransientInvalidate => "transient_inval_miss",
+            StallCause::RandomReplMiss => "l1_random_repl_miss",
+            StallCause::SefePressure => "sefe_pressure",
+            StallCause::Halted => "halted",
+            StallCause::Harness => "harness",
+        }
+    }
+
+    /// Dense index into [`CpiStack`].
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Whether the cause exists only under a secure scheme — the buckets a
+    /// NonSecure-vs-scheme attribution diff charges the security tax to.
+    pub fn is_scheme_overhead(self) -> bool {
+        matches!(
+            self,
+            StallCause::SchemeCommitStall
+                | StallCause::WaitInflight
+                | StallCause::CleanupInProgress
+                | StallCause::SchemeDefer
+                | StallCause::TransientInvalidate
+                | StallCause::RandomReplMiss
+                | StallCause::SefePressure
+        )
+    }
+}
+
+impl std::fmt::Display for StallCause {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Per-cause cycle totals for one core (a top-down CPI stack).
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct CpiStack {
+    counts: [u64; StallCause::ALL.len()],
+}
+
+impl CpiStack {
+    /// An empty stack.
+    pub fn new() -> Self {
+        CpiStack::default()
+    }
+
+    /// Charges one cycle to `cause`.
+    #[inline]
+    pub fn charge(&mut self, cause: StallCause) {
+        self.counts[cause.index()] += 1;
+    }
+
+    /// Cycles charged to `cause`.
+    pub fn get(&self, cause: StallCause) -> u64 {
+        self.counts[cause.index()]
+    }
+
+    /// Total cycles across all causes. Equals the cycles simulated — the
+    /// accounting invariant every report is checked against.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// `(cause, cycles)` pairs in display order, including zero entries.
+    pub fn iter(&self) -> impl Iterator<Item = (StallCause, u64)> + '_ {
+        StallCause::ALL.iter().map(|&c| (c, self.counts[c.index()]))
+    }
+
+    /// Adds another stack's counts into this one (system-level rollups).
+    pub fn merge(&mut self, other: &CpiStack) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+    }
+
+    /// Cycles per kilo-instruction charged to `cause` (0.0 when no
+    /// instructions committed — never NaN).
+    pub fn cpki(&self, cause: StallCause, insts: u64) -> f64 {
+        if insts == 0 {
+            0.0
+        } else {
+            self.get(cause) as f64 * 1000.0 / insts as f64
+        }
+    }
+}
+
 /// Classification of a squashed load (Table 5 columns).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum SquashedClass {
@@ -71,6 +254,9 @@ pub struct CoreStats {
     /// Distribution of per-squash cleanup durations (cycles from the
     /// scheme's `on_squash` to its resume cycle).
     pub cleanup_duration: Histogram,
+    /// Top-down cycle accounting: exactly one [`StallCause`] per cycle,
+    /// summing to `cycles`.
+    pub cpi_stack: CpiStack,
 }
 
 impl CoreStats {
@@ -175,6 +361,45 @@ mod tests {
         assert_eq!(s.mispredict_rate(), 0.0);
         assert_eq!(s.loads_per_squash(), 0.0);
         assert_eq!(s.stall_per_squash(), (0.0, 0.0));
+    }
+
+    #[test]
+    fn cpi_stack_totals_and_iteration() {
+        let mut s = CpiStack::new();
+        s.charge(StallCause::Commit);
+        s.charge(StallCause::Commit);
+        s.charge(StallCause::LoadMem);
+        assert_eq!(s.get(StallCause::Commit), 2);
+        assert_eq!(s.get(StallCause::LoadMem), 1);
+        assert_eq!(s.total(), 3);
+        let listed: u64 = s.iter().map(|(_, n)| n).sum();
+        assert_eq!(listed, 3, "iter covers every bucket");
+        let mut t = CpiStack::new();
+        t.charge(StallCause::CleanupInProgress);
+        s.merge(&t);
+        assert_eq!(s.total(), 4);
+        assert!((s.cpki(StallCause::Commit, 1000) - 2.0).abs() < 1e-12);
+        assert_eq!(s.cpki(StallCause::Commit, 0), 0.0, "zero insts is quiet");
+    }
+
+    #[test]
+    fn stall_cause_indices_are_dense_and_names_unique() {
+        let mut names = std::collections::HashSet::new();
+        for (i, c) in StallCause::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i, "ALL order must match discriminant order");
+            assert!(names.insert(c.name()), "duplicate name {}", c.name());
+        }
+    }
+
+    #[test]
+    fn scheme_overhead_causes_are_the_cleanupspec_ones() {
+        assert!(StallCause::WaitInflight.is_scheme_overhead());
+        assert!(StallCause::CleanupInProgress.is_scheme_overhead());
+        assert!(StallCause::TransientInvalidate.is_scheme_overhead());
+        assert!(StallCause::RandomReplMiss.is_scheme_overhead());
+        assert!(StallCause::SefePressure.is_scheme_overhead());
+        assert!(!StallCause::Commit.is_scheme_overhead());
+        assert!(!StallCause::LoadMem.is_scheme_overhead());
     }
 
     #[test]

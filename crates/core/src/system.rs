@@ -231,10 +231,15 @@ impl System {
 
     /// Advances time and the memory system by one cycle WITHOUT ticking
     /// the cores. Harness phases (priming, probing, draining) use this so
-    /// that measurement does not perturb the victim programs.
+    /// that measurement does not perturb the victim programs. The skipped
+    /// core cycles are charged to the CPI stack's `Harness` bucket so the
+    /// per-core stack still sums to elapsed cycles.
     pub fn tick_mem_only(&mut self) {
         self.now += 1;
         self.mem.advance(self.now);
+        for c in &mut self.cores {
+            c.note_harness_cycle();
+        }
     }
 
     /// Advances the whole system by one cycle.

@@ -202,6 +202,23 @@ impl LoadReq {
     }
 }
 
+/// Why a line most recently left a core's L1 — the scheme-overhead
+/// provenance of the *next* demand miss on that line. CleanupSpec's
+/// security mechanisms cause extra misses that a baseline LRU cache
+/// would not take; tagging them lets the pipeline's CPI stack charge
+/// those miss cycles to the responsible mechanism instead of to a
+/// generic load-miss bucket.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MissProvenance {
+    /// The line was invalidated by a CleanupSpec transient-install
+    /// cleanup (Section 3.3) — the re-fetch is cleanup overhead.
+    TransientInval,
+    /// The line was evicted under the L1 Random replacement policy
+    /// (Section 3.4) — the re-fetch may be a random-replacement miss
+    /// an LRU baseline would have avoided.
+    RandomRepl,
+}
+
 /// Result of issuing a load.
 #[derive(Clone, Copy, Debug)]
 pub struct LoadOutcome {
@@ -216,6 +233,10 @@ pub struct LoadOutcome {
     /// The load was refused under GetS-Safe (it would downgrade a remote
     /// M/E line) and must be retried once unsquashable (Section 3.5).
     pub deferred: bool,
+    /// Scheme-overhead attribution of this miss, when the line last left
+    /// this core's L1 for a scheme-specific reason (`None` for hits and
+    /// ordinary misses).
+    pub provenance: Option<MissProvenance>,
 }
 
 /// Result of a store.
@@ -239,6 +260,11 @@ pub struct MemHierarchy {
     traffic: Traffic,
     obs: Observer,
     faults: FaultInjector,
+    /// Per-core map from line address to why that line most recently left
+    /// the core's L1 for a scheme-attributable reason. Written by the
+    /// cleanup/eviction paths, consumed (removed) by the next demand miss
+    /// on the line, which reports it via [`LoadOutcome::provenance`].
+    miss_prov: Vec<HashMap<LineAddr, MissProvenance>>,
     /// Cycle of the most recent externally stamped operation; events from
     /// calls without a `now` parameter (cleanup ops, retires) are stamped
     /// with it. Exact in a live simulation, where `advance(now)` runs each
@@ -317,6 +343,7 @@ impl MemHierarchy {
             traffic: Traffic::default(),
             obs: Observer::disabled(),
             faults: FaultInjector::disabled(),
+            miss_prov: vec![HashMap::new(); cfg.num_cores],
             now_hint: 0,
             cfg,
         })
@@ -499,6 +526,7 @@ impl MemHierarchy {
             path,
             token: None,
             deferred: false,
+            provenance: None,
         }
     }
 
@@ -523,8 +551,15 @@ impl MemHierarchy {
                 path: LoadPath::L1Hit,
                 token: None,
                 deferred: false,
+                provenance: None,
             });
         }
+
+        // The line is absent from our L1: consume any pending attribution
+        // of why it left (cleanup invalidate / random replacement). The
+        // deferred and MSHR-full paths below re-insert it so the retry
+        // still carries the attribution.
+        let provenance = self.miss_prov[ci].remove(&line);
 
         // Merge with an outstanding miss to the same line: the merged load
         // shares the response and causes no fills of its own.
@@ -538,11 +573,13 @@ impl MemHierarchy {
                 LoadPath::RemoteL1 => LoadClass::RemoteEM,
                 _ => LoadClass::SafeCache,
             });
+            self.stats.count_provenance(provenance);
             return Ok(LoadOutcome {
                 complete_at: at.max(now + self.cfg.l1_rt),
                 path,
                 token: None,
                 deferred: false,
+                provenance,
             });
         }
 
@@ -566,11 +603,13 @@ impl MemHierarchy {
                         line: line.raw(),
                     },
                 );
+                self.stats.count_provenance(provenance);
                 return Ok(LoadOutcome {
                     complete_at: now + latency,
                     path: LoadPath::DummyMiss,
                     token: None,
                     deferred: false,
+                    provenance,
                 });
             }
             let dir = self.dir.get(&line).copied().unwrap_or_default();
@@ -596,11 +635,17 @@ impl MemHierarchy {
                                 owner: owner.index(),
                             },
                         );
+                        if let Some(p) = provenance {
+                            // The deferred load retries once unsquashable;
+                            // keep the attribution for the retry.
+                            self.miss_prov[ci].insert(line, p);
+                        }
                         return Ok(LoadOutcome {
                             complete_at: now + self.cfg.l2_effective_rt(),
                             path: LoadPath::RemoteL1,
                             token: None,
                             deferred: true,
+                            provenance: None,
                         });
                     }
                     // Downgrade the owner now (at request time). A `forced`
@@ -663,6 +708,10 @@ impl MemHierarchy {
             .map_err(|_| {
                 // A speculative load with no free entry is a SEFE overflow:
                 // it retries rather than running unlogged (Section 3.3).
+                if let Some(p) = provenance {
+                    // The retry should still carry the miss attribution.
+                    self.miss_prov[ci].insert(line, p);
+                }
                 if req.spec {
                     self.obs.emit(
                         now,
@@ -688,12 +737,27 @@ impl MemHierarchy {
             // is_spec for the fill pass; tagging is suppressed for
             // non-speculative loads above.
         }
+        self.stats.count_provenance(provenance);
         Ok(LoadOutcome {
             complete_at: now + latency,
             path,
             token: Some(token),
             deferred: false,
+            provenance,
         })
+    }
+
+    /// Records (or clears, with `prov == None`) why `line` just left core
+    /// `ci`'s L1; the next demand miss on the line consumes the entry.
+    fn note_l1_departure(&mut self, ci: usize, line: LineAddr, prov: Option<MissProvenance>) {
+        match prov {
+            Some(p) => {
+                self.miss_prov[ci].insert(line, p);
+            }
+            None => {
+                self.miss_prov[ci].remove(&line);
+            }
+        }
     }
 
     /// Downgrades `owner`'s M/E copy of `line` to S (writeback if M).
@@ -879,6 +943,12 @@ impl MemHierarchy {
                 evictor: evictor.map(LineAddr::raw),
             },
         );
+        // Attribute the victim's next miss: a Random-policy eviction is a
+        // scheme cost (an LRU baseline may have kept the line); an LRU
+        // eviction clears any stale attribution.
+        let prov = (self.cfg.l1_replacement == ReplacementKind::Random)
+            .then_some(MissProvenance::RandomRepl);
+        self.note_l1_departure(core.index(), v.line, prov);
         if let Some(d) = self.dir.get_mut(&v.line) {
             d.remove(core);
         }
@@ -917,6 +987,7 @@ impl MemHierarchy {
             for c in d.sharer_list(self.cfg.num_cores) {
                 if let Some(prev) = self.l1[c.index()].invalidate(v.line) {
                     self.stats.back_invals += 1;
+                    self.note_l1_departure(c.index(), v.line, None);
                     self.traffic.add(MsgClass::Inval, 1);
                     self.obs.emit(
                         self.now_hint,
@@ -1065,6 +1136,7 @@ impl MemHierarchy {
                 continue;
             }
             if let Some(prev) = self.l1[core.index()].invalidate(line) {
+                self.note_l1_departure(core.index(), line, None);
                 if prev.dirty {
                     if let Some(l2l) = self.l2.probe_mut(line) {
                         l2l.dirty = true;
@@ -1096,6 +1168,7 @@ impl MemHierarchy {
         for ci in 0..self.cfg.num_cores {
             if let Some(prev) = self.l1[ci].invalidate(line) {
                 dirty |= prev.dirty;
+                self.note_l1_departure(ci, line, None);
                 self.traffic.add(MsgClass::Inval, 1);
             }
         }
@@ -1209,6 +1282,7 @@ impl MemHierarchy {
         if l1 {
             if let Some(prev) = self.l1[core.index()].invalidate(line) {
                 self.stats.cleanup_invals += 1;
+                self.note_l1_departure(core.index(), line, Some(MissProvenance::TransientInval));
                 if let Some(d) = self.dir.get_mut(&line) {
                     d.remove(core);
                 }
@@ -1239,6 +1313,11 @@ impl MemHierarchy {
                     for c in d.sharer_list(self.cfg.num_cores) {
                         if self.l1[c.index()].invalidate(line).is_some() {
                             self.stats.back_invals += 1;
+                            self.note_l1_departure(
+                                c.index(),
+                                line,
+                                Some(MissProvenance::TransientInval),
+                            );
                             self.traffic.add(MsgClass::Inval, 1);
                             self.obs.emit(
                                 self.now_hint,
@@ -1281,6 +1360,9 @@ impl MemHierarchy {
         self.stats.cleanup_restores += 1;
         self.traffic.add(MsgClass::Cleanup, 2);
         let ci = core.index();
+        // The victim is coming back — any pending miss attribution for it
+        // (e.g. the random-replacement eviction being undone) is moot.
+        self.miss_prov[ci].remove(&line);
         self.obs.emit(
             self.now_hint,
             SimEvent::CleanupRestore {

@@ -139,6 +139,10 @@ pub struct MemStats {
     pub cleanup_invals: u64,
     /// CleanupSpec restore operations executed.
     pub cleanup_restores: u64,
+    /// Demand misses re-fetching a line a cleanup invalidate removed.
+    pub transient_inval_misses: u64,
+    /// Demand misses re-fetching a line the Random L1 policy evicted.
+    pub random_repl_misses: u64,
     /// Figure 9 classification counters.
     pub class_safe_cache: u64,
     /// See [`LoadClass::RemoteEM`].
@@ -161,6 +165,19 @@ impl MemStats {
             LoadClass::SafeCache => self.class_safe_cache += 1,
             LoadClass::RemoteEM => self.class_remote_em += 1,
             LoadClass::Dram => self.class_dram += 1,
+        }
+    }
+
+    /// Records the scheme-overhead provenance of one demand miss.
+    pub fn count_provenance(&mut self, prov: Option<crate::hierarchy::MissProvenance>) {
+        match prov {
+            Some(crate::hierarchy::MissProvenance::TransientInval) => {
+                self.transient_inval_misses += 1;
+            }
+            Some(crate::hierarchy::MissProvenance::RandomRepl) => {
+                self.random_repl_misses += 1;
+            }
+            None => {}
         }
     }
 

@@ -124,23 +124,38 @@ impl Histogram {
     }
 
     /// Writes this histogram as a JSON object under `key`:
-    /// `{"count", "mean", "max", "p50", "p99", "buckets": [{lo,hi,n}]}`.
+    /// `{"count", "mean", "max", "p50", "p95", "p99", "buckets": [{lo,hi,n}]}`.
     pub fn write_json(&self, w: &mut crate::json::JsonWriter, key: &str) {
+        self.write_summary_json(w, key, true);
+    }
+
+    /// Writes the summary stats only — `{"count", "mean", "max", "p50",
+    /// "p95", "p99"}` — without the bucket list (report JSON surfaces these
+    /// directly so consumers need no trace sink to recover them).
+    pub fn write_summary(&self, w: &mut crate::json::JsonWriter, key: &str) {
+        self.write_summary_json(w, key, false);
+    }
+
+    fn write_summary_json(&self, w: &mut crate::json::JsonWriter, key: &str, buckets: bool) {
         w.open_object(Some(key))
             .int("count", self.total)
             .float("mean", self.mean())
             .int("max", self.max)
             .int("p50", self.quantile(0.50))
+            .int("p95", self.quantile(0.95))
             .int("p99", self.quantile(0.99));
-        w.open_array("buckets");
-        for (lo, hi, n) in self.buckets() {
-            w.open_object(None)
-                .int("lo", lo)
-                .int("hi", hi)
-                .int("n", n)
-                .close_object();
+        if buckets {
+            w.open_array("buckets");
+            for (lo, hi, n) in self.buckets() {
+                w.open_object(None)
+                    .int("lo", lo)
+                    .int("hi", hi)
+                    .int("n", n)
+                    .close_object();
+            }
+            w.close_array();
         }
-        w.close_array().close_object();
+        w.close_object();
     }
 }
 
@@ -224,7 +239,22 @@ mod tests {
         w.close_object();
         let j = w.finish();
         assert!(j.contains("\"lat\""), "{j}");
+        assert!(j.contains("\"p95\""), "{j}");
         assert!(j.contains("\"p99\""), "{j}");
         assert!(j.contains("\"buckets\""), "{j}");
+    }
+
+    #[test]
+    fn summary_json_omits_buckets() {
+        let mut h = Histogram::new();
+        h.record(10);
+        let mut w = crate::json::JsonWriter::new();
+        w.open_object(None);
+        h.write_summary(&mut w, "lat");
+        w.close_object();
+        let j = w.finish();
+        assert!(j.contains("\"p50\""), "{j}");
+        assert!(j.contains("\"p95\""), "{j}");
+        assert!(!j.contains("\"buckets\""), "{j}");
     }
 }

@@ -32,6 +32,8 @@ pub mod event;
 pub mod histogram;
 pub mod json;
 pub mod jsonl;
+pub mod jsonparse;
+pub mod metrics;
 pub mod observer;
 pub mod perfetto;
 pub mod ring;
@@ -42,6 +44,8 @@ pub use event::{CacheLevel, FieldValue, Layer, PathKind, SimEvent};
 pub use histogram::Histogram;
 pub use json::JsonWriter;
 pub use jsonl::JsonlSink;
+pub use jsonparse::JsonValue;
+pub use metrics::{CounterSample, MetricsRegistry};
 pub use observer::{EventSink, Observer, Shared};
 pub use perfetto::PerfettoSink;
 pub use ring::{EventRecord, RingSink};

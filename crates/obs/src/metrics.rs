@@ -1,0 +1,245 @@
+//! Host-side self-profiling: a registry of wall-clock timers, counters,
+//! and gauges describing the *simulator's* performance (sim KIPS,
+//! events/sec, sink backpressure, wall-clock per subsystem) — as opposed
+//! to the simulated machine's performance, which [`crate::event::SimEvent`]
+//! streams cover.
+//!
+//! The registry renders to JSON (for `BENCH_*.json` host sections) and can
+//! hand timestamped [`CounterSample`]s to [`crate::PerfettoSink`] so host
+//! metrics appear as counter tracks alongside the simulation's event
+//! tracks. Like the Jsonl and Perfetto sinks, a registry configured with an
+//! output path flushes on [`MetricsRegistry::finish`] and — if that never
+//! ran — on `Drop`, so a crashing run still leaves its metrics behind.
+
+use crate::json::JsonWriter;
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// One timestamped host-counter sample, attachable to a Perfetto counter
+/// track (`ts` is the simulated cycle the sample describes).
+#[derive(Clone, Debug, PartialEq)]
+pub struct CounterSample {
+    /// Counter-track name (e.g. `"sim_kips"`).
+    pub name: String,
+    /// Trace timestamp: the simulated cycle this sample is attached to.
+    pub ts: u64,
+    /// Sampled value.
+    pub value: f64,
+}
+
+/// Registry of host-side metrics. All maps are ordered so rendered JSON is
+/// deterministic.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    /// Accumulated wall-clock seconds per named subsystem.
+    timers: BTreeMap<String, f64>,
+    samples: Vec<CounterSample>,
+    output: Option<std::path::PathBuf>,
+    flushed: bool,
+}
+
+impl MetricsRegistry {
+    /// An empty registry; the caller reads values back itself.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// An empty registry that writes its JSON to `path` on finish/drop.
+    pub fn with_output(path: impl Into<std::path::PathBuf>) -> Self {
+        MetricsRegistry {
+            counters: BTreeMap::new(),
+            gauges: BTreeMap::new(),
+            timers: BTreeMap::new(),
+            samples: Vec::new(),
+            output: Some(path.into()),
+            flushed: false,
+        }
+    }
+
+    /// Adds `n` to a monotonically increasing counter.
+    pub fn add(&mut self, name: &str, n: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += n;
+    }
+
+    /// Current value of a counter (0 if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Sets a gauge to an instantaneous value.
+    pub fn set_gauge(&mut self, name: &str, v: f64) {
+        self.gauges.insert(name.to_string(), v);
+    }
+
+    /// Current value of a gauge (0.0 if never set).
+    pub fn gauge(&self, name: &str) -> f64 {
+        self.gauges.get(name).copied().unwrap_or(0.0)
+    }
+
+    /// Runs `f`, adding its wall-clock duration to the `name` timer.
+    pub fn time<T>(&mut self, name: &str, f: impl FnOnce() -> T) -> T {
+        let start = Instant::now();
+        let out = f();
+        self.add_timing(name, start.elapsed().as_secs_f64());
+        out
+    }
+
+    /// Adds pre-measured wall-clock seconds to the `name` timer.
+    pub fn add_timing(&mut self, name: &str, secs: f64) {
+        *self.timers.entry(name.to_string()).or_insert(0.0) += secs;
+    }
+
+    /// Accumulated wall-clock seconds of a timer (0.0 if never used).
+    pub fn timer_secs(&self, name: &str) -> f64 {
+        self.timers.get(name).copied().unwrap_or(0.0)
+    }
+
+    /// Records a timestamped counter sample for Perfetto export.
+    pub fn sample(&mut self, name: &str, ts: u64, value: f64) {
+        self.samples.push(CounterSample {
+            name: name.to_string(),
+            ts,
+            value,
+        });
+    }
+
+    /// All recorded counter samples, in insertion order.
+    pub fn samples(&self) -> &[CounterSample] {
+        &self.samples
+    }
+
+    /// Writes the registry into an open JSON object as three sub-objects:
+    /// `"counters"`, `"gauges"`, `"timers_secs"`.
+    pub fn write_json(&self, w: &mut JsonWriter) {
+        w.open_object(Some("counters"));
+        for (k, v) in &self.counters {
+            w.int(k, *v);
+        }
+        w.close_object();
+        w.open_object(Some("gauges"));
+        for (k, v) in &self.gauges {
+            w.float(k, *v);
+        }
+        w.close_object();
+        w.open_object(Some("timers_secs"));
+        for (k, v) in &self.timers {
+            w.float(k, *v);
+        }
+        w.close_object();
+    }
+
+    /// Renders the registry as a standalone JSON object string.
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.open_object(None);
+        self.write_json(&mut w);
+        w.close_object();
+        w.finish()
+    }
+
+    /// Writes the JSON rendering to the configured output path (no-op
+    /// without one). Returns the number of bytes written.
+    pub fn write_output(&mut self) -> std::io::Result<usize> {
+        let Some(path) = self.output.clone() else {
+            return Ok(0);
+        };
+        let json = self.to_json();
+        std::fs::write(path, &json)?;
+        self.flushed = true;
+        Ok(json.len())
+    }
+
+    /// Flushes to the configured output, mirroring [`crate::EventSink::finish`].
+    pub fn finish(&mut self) {
+        let _ = self.write_output();
+    }
+}
+
+impl Drop for MetricsRegistry {
+    fn drop(&mut self) {
+        if !self.flushed {
+            let _ = self.write_output();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_gauges_and_timers_accumulate() {
+        let mut m = MetricsRegistry::new();
+        m.add("events", 10);
+        m.add("events", 5);
+        m.set_gauge("kips", 1234.5);
+        m.add_timing("sim", 0.25);
+        m.add_timing("sim", 0.25);
+        assert_eq!(m.counter("events"), 15);
+        assert_eq!(m.counter("untouched"), 0);
+        assert!((m.gauge("kips") - 1234.5).abs() < 1e-9);
+        assert!((m.timer_secs("sim") - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scoped_timer_returns_value_and_records_time() {
+        let mut m = MetricsRegistry::new();
+        let v = m.time("work", || 42);
+        assert_eq!(v, 42);
+        assert!(m.timer_secs("work") >= 0.0);
+    }
+
+    #[test]
+    fn json_rendering_is_deterministic_and_balanced() {
+        let mut m = MetricsRegistry::new();
+        m.add("b_counter", 2);
+        m.add("a_counter", 1);
+        m.set_gauge("g", 0.5);
+        m.add_timing("t", 1.0);
+        let j = m.to_json();
+        assert!(crate::json::tests::balanced(&j), "{j}");
+        assert!(j.contains("\"counters\""), "{j}");
+        assert!(j.contains("\"gauges\""), "{j}");
+        assert!(j.contains("\"timers_secs\""), "{j}");
+        // BTreeMap ordering: a_counter before b_counter.
+        assert!(j.find("a_counter").unwrap() < j.find("b_counter").unwrap());
+    }
+
+    #[test]
+    fn samples_are_kept_in_order() {
+        let mut m = MetricsRegistry::new();
+        m.sample("sim_kips", 100, 50.0);
+        m.sample("sim_kips", 200, 75.0);
+        assert_eq!(m.samples().len(), 2);
+        assert_eq!(m.samples()[0].ts, 100);
+        assert_eq!(m.samples()[1].value, 75.0);
+    }
+
+    #[test]
+    fn drop_writes_configured_output() {
+        let path =
+            std::env::temp_dir().join(format!("cs-metrics-drop-{}.json", std::process::id()));
+        {
+            let mut m = MetricsRegistry::with_output(&path);
+            m.add("events", 3);
+            // No finish(): the Drop impl must write the file.
+        }
+        let j = std::fs::read_to_string(&path).unwrap();
+        assert!(j.contains("\"events\": 3"), "{j}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn finish_writes_once_and_drop_does_not_rewrite() {
+        let path = std::env::temp_dir().join(format!("cs-metrics-fin-{}.json", std::process::id()));
+        {
+            let mut m = MetricsRegistry::with_output(&path);
+            m.add("events", 1);
+            m.finish();
+            std::fs::remove_file(&path).unwrap();
+        }
+        assert!(!path.exists());
+    }
+}

@@ -14,6 +14,7 @@
 
 use crate::event::{Layer, SimEvent};
 use crate::json::JsonWriter;
+use crate::metrics::CounterSample;
 use crate::observer::EventSink;
 use crate::ring::EventRecord;
 use std::collections::BTreeSet;
@@ -28,6 +29,10 @@ fn pid(layer: Layer) -> u64 {
     }
 }
 
+/// Synthetic process id for host-side self-profiling counter tracks
+/// ([`crate::MetricsRegistry`] samples); distinct from every [`Layer`] pid.
+const HOST_PID: u64 = 6;
+
 /// Accumulates events and renders them as Chrome trace-event JSON.
 ///
 /// With an output path configured ([`PerfettoSink::with_output`]) the
@@ -37,6 +42,7 @@ fn pid(layer: Layer) -> u64 {
 #[derive(Debug, Default)]
 pub struct PerfettoSink {
     events: Vec<EventRecord>,
+    host_counters: Vec<CounterSample>,
     output: Option<std::path::PathBuf>,
     flushed: bool,
 }
@@ -51,9 +57,17 @@ impl PerfettoSink {
     pub fn with_output(path: impl Into<std::path::PathBuf>) -> Self {
         PerfettoSink {
             events: Vec::new(),
+            host_counters: Vec::new(),
             output: Some(path.into()),
             flushed: false,
         }
+    }
+
+    /// Attaches host-side counter samples (from a
+    /// [`crate::MetricsRegistry`]) so they render as counter tracks under
+    /// a dedicated "host" process, alongside the simulation's tracks.
+    pub fn add_host_counters(&mut self, samples: impl IntoIterator<Item = CounterSample>) {
+        self.host_counters.extend(samples);
     }
 
     /// Events captured so far.
@@ -111,9 +125,27 @@ impl PerfettoSink {
                 .string("name", &format!("core{t}"));
             w.close_object().close_object();
         }
+        if !self.host_counters.is_empty() {
+            w.open_object(None)
+                .string("ph", "M")
+                .string("name", "process_name")
+                .int("pid", HOST_PID);
+            w.open_object(Some("args")).string("name", "host");
+            w.close_object().close_object();
+        }
 
         for r in &self.events {
             self.write_event(&mut w, r);
+        }
+        for s in &self.host_counters {
+            w.open_object(None)
+                .string("name", &s.name)
+                .string("ph", "C")
+                .int("pid", HOST_PID)
+                .int("tid", 0)
+                .int("ts", s.ts);
+            w.open_object(Some("args")).float("value", s.value);
+            w.close_object().close_object();
         }
         w.close_array();
         w.string("displayTimeUnit", "ms");
@@ -272,6 +304,28 @@ mod tests {
         let j = sample().render();
         assert!(j.contains("\"ph\": \"C\""), "{j}");
         assert!(j.contains("\"mshr_occupancy\""), "{j}");
+    }
+
+    #[test]
+    fn host_counters_render_under_host_process() {
+        let mut s = sample();
+        s.add_host_counters(vec![
+            CounterSample {
+                name: "sim_kips".to_string(),
+                ts: 50,
+                value: 123.5,
+            },
+            CounterSample {
+                name: "events_per_sec".to_string(),
+                ts: 50,
+                value: 1e6,
+            },
+        ]);
+        let j = s.render();
+        assert!(crate::json::tests::balanced(&j), "{j}");
+        assert!(j.contains("\"name\": \"host\""), "{j}");
+        assert!(j.contains("\"sim_kips\""), "{j}");
+        assert!(j.contains(&format!("\"pid\": {HOST_PID}")), "{j}");
     }
 
     #[test]

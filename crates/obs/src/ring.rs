@@ -50,6 +50,27 @@ impl RingSink {
         self.total
     }
 
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Events currently retained.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Events discarded because the ring was full — the backpressure
+    /// signal a sizing flag (`--ring-capacity`) is tuned against.
+    pub fn dropped(&self) -> u64 {
+        self.total - self.buf.len() as u64
+    }
+
     /// Human-readable dump, one line per retained event.
     pub fn dump(&self) -> String {
         let mut out = String::new();
@@ -88,6 +109,9 @@ mod tests {
             r.record(i, &ev(i));
         }
         assert_eq!(r.total_recorded(), 5);
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.capacity(), 3);
+        assert_eq!(r.dropped(), 2);
         let lines: Vec<u64> = r.events().map(|e| e.cycle).collect();
         assert_eq!(lines, vec![2, 3, 4]);
     }

@@ -1,0 +1,179 @@
+//! Cycle-accounting invariant tests: every simulated cycle is attributed
+//! to exactly one [`StallCause`] bucket per core, so each core's CPI
+//! stack must sum to the report's total cycles — across schemes, seeds,
+//! early stop reasons (cycle limit, livelock), and the attack-harness
+//! phases (probe loads, flushes, drains) that advance time outside the
+//! pipeline.
+
+use cleanupspec::prelude::*;
+use cleanupspec::sim::SimReport;
+use cleanupspec_asm::assemble;
+use cleanupspec_core::stats::StallCause;
+use cleanupspec_core::system::{RunLimits, StopReason};
+use cleanupspec_mem::fault::{FaultKind, FaultPlan};
+use cleanupspec_mem::hierarchy::MemConfig;
+use cleanupspec_workloads::spec::spec_workload;
+
+fn assert_stacks_sum(r: &SimReport, what: &str) {
+    for (i, c) in r.cores.iter().enumerate() {
+        assert_eq!(
+            c.cpi_stack.total(),
+            r.cycles,
+            "{what}: core {i} stack sums to {} but the run took {} cycles\n{:?}",
+            c.cpi_stack.total(),
+            r.cycles,
+            c.cpi_stack
+        );
+    }
+}
+
+#[test]
+fn stacks_sum_to_cycles_across_schemes_and_seeds() {
+    // SplitMix64-style seed scramble so the seeds exercise different
+    // program shapes without a hand-picked list.
+    let mut x = 0x9E37_79B9_7F4A_7C15u64;
+    for workload in ["gcc", "mcf", "astar"] {
+        let w = spec_workload(workload).unwrap();
+        for mode in SecurityMode::MAIN {
+            x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9).rotate_left(31);
+            let seed = x;
+            let mut sim = SimBuilder::new(mode)
+                .program(w.build(seed))
+                .seed(seed)
+                .build();
+            sim.run_with_warmup(3_000, 10_000);
+            let r = sim.report();
+            assert_stacks_sum(&r, &format!("{workload}/{}/seed {seed:#x}", mode.name()));
+            assert!(
+                r.cores[0].cpi_stack.get(StallCause::Commit) > 0,
+                "{workload}/{}: a committing run must charge commit cycles",
+                mode.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn stack_sums_hold_when_the_cycle_limit_cuts_the_run_short() {
+    let w = spec_workload("mcf").unwrap();
+    let mut sim = SimBuilder::new(SecurityMode::CleanupSpec)
+        .program(w.build(7))
+        .seed(7)
+        .build();
+    let stop = sim.run(RunLimits {
+        max_cycles: 2_500,
+        max_insts_per_core: u64::MAX,
+        ..RunLimits::default()
+    });
+    assert_eq!(stop, StopReason::CycleLimit);
+    assert_stacks_sum(&sim.report(), "cycle-limit");
+}
+
+#[test]
+fn stack_sums_hold_through_a_livelock() {
+    // The watchdog recipe: every completed miss leaks its MSHR entry, so
+    // a cache-missing loop exhausts a 4-entry MSHR file and the head load
+    // retries forever. Even that pathological run must account for every
+    // cycle.
+    let program = assemble(
+        "miss-loop",
+        r"
+        .reg r1 = 0x40000
+        .reg r2 = 200
+    loop:
+        ld r3, [r1]
+        clflush [r1]
+        sub r2, r2, 1
+        bne r2, loop
+        halt
+        ",
+    )
+    .unwrap();
+    let mut sim = SimBuilder::new(SecurityMode::CleanupSpec)
+        .program(program)
+        .mem_config(MemConfig {
+            mshrs_per_core: 4,
+            ..MemConfig::default()
+        })
+        .fault_plan(FaultPlan::single(FaultKind::LeakMshrSlot))
+        .build();
+    let stop = sim.run(RunLimits {
+        max_cycles: 2_000_000,
+        max_insts_per_core: u64::MAX,
+        watchdog: Some(5_000),
+    });
+    assert!(
+        matches!(stop, StopReason::Livelock(_)),
+        "expected livelock, got {stop:?}"
+    );
+    assert_stacks_sum(&sim.report(), "livelock");
+}
+
+#[test]
+fn stack_sums_hold_through_harness_phases() {
+    // probe_load / flush_line / drain advance simulated time without
+    // ticking the pipelines; those cycles land in the harness bucket and
+    // the invariant must survive them.
+    let w = spec_workload("gcc").unwrap();
+    let mut sim = SimBuilder::new(SecurityMode::NonSecure)
+        .program(w.build(3))
+        .seed(3)
+        .build();
+    sim.run_insts(5_000);
+    for i in 0..8u64 {
+        sim.probe_load(CoreId(0), Addr::new(0x40000 + i * 64));
+        sim.flush_line(CoreId(0), Addr::new(0x40000 + i * 64));
+    }
+    sim.drain(1_000);
+    let r = sim.report();
+    assert_stacks_sum(&r, "harness phases");
+    assert!(
+        r.cores[0].cpi_stack.get(StallCause::Harness) > 0,
+        "harness-driven cycles must be charged to the harness bucket"
+    );
+}
+
+#[test]
+fn cleanupspec_slowdown_is_attributed_to_nonzero_scheme_buckets() {
+    // The "where does the slowdown go" acceptance check: under
+    // CleanupSpec a squash-heavy workload must show its overhead in the
+    // scheme-specific buckets, and the top-3 overhead causes vs NonSecure
+    // must carry nonzero cycle counts.
+    let w = spec_workload("astar").unwrap();
+    let run = |mode: SecurityMode| {
+        let mut sim = SimBuilder::new(mode).program(w.build(11)).seed(11).build();
+        sim.run_with_warmup(5_000, 25_000);
+        sim.report()
+    };
+    let base = run(SecurityMode::NonSecure);
+    let secure = run(SecurityMode::CleanupSpec);
+    assert!(secure.slowdown_vs(&base) > 1.0, "astar must pay for safety");
+
+    let bs = base.cpi_stack();
+    let ss = secure.cpi_stack();
+    let scheme_cycles: u64 = StallCause::ALL
+        .iter()
+        .filter(|c| c.is_scheme_overhead())
+        .map(|&c| ss.get(c))
+        .sum();
+    assert!(
+        scheme_cycles > 0,
+        "cleanupspec run charged no scheme-overhead cycles: {ss:?}"
+    );
+
+    let bi = base.total_insts();
+    let si = secure.total_insts();
+    let mut deltas: Vec<(StallCause, f64)> = StallCause::ALL
+        .iter()
+        .map(|&c| (c, ss.cpki(c, si) - bs.cpki(c, bi)))
+        .collect();
+    deltas.sort_by(|a, b| b.1.total_cmp(&a.1));
+    let top: Vec<_> = deltas.iter().take(3).filter(|(_, d)| *d > 0.0).collect();
+    assert!(!top.is_empty(), "slowdown must be attributed somewhere");
+    for (cause, delta) in &top {
+        assert!(
+            ss.get(*cause) > 0,
+            "top overhead cause {cause} ({delta:+.2} CPKI) has zero cycles"
+        );
+    }
+}
