@@ -364,8 +364,21 @@ fn chaos_plan_verdict(p: &SmithPlan, fault: Option<FaultKind>) -> SeedVerdict {
     }
 }
 
+/// Cycle stride between silent cs-snap checkpoints in [`capture_events`]:
+/// the replay runs unobserved up to the last checkpoint before the run
+/// stops, then attaches the ring and resumes only the tail.
+const CAPTURE_STRIDE: Cycle = 50_000;
+
 /// Replays a plan with a [`RingSink`] attached and returns the event dump
 /// (the run is deterministic, so the replay sees the failing execution).
+///
+/// The replay is two-phase: a silent pre-pass runs in
+/// [`CAPTURE_STRIDE`]-cycle slices, cloning the whole system (cs-snap) at
+/// the last slice boundary before the stop; the event capture then
+/// resumes from that checkpoint instead of cycle 0. The ring only keeps
+/// the run's tail anyway — this way the observer tax is only paid over
+/// the window the artifact actually shows. Fault-injection counters are
+/// rewound with the checkpoint so the tail re-fires the same faults.
 fn capture_events(p: &SmithPlan, fault: Option<FaultKind>) -> String {
     let progs: Vec<Arc<Program>> = assemble_plan(p).into_iter().map(Arc::new).collect();
     let mode = SecurityMode::CleanupSpec;
@@ -388,8 +401,6 @@ fn capture_events(p: &SmithPlan, fault: Option<FaultKind>) -> String {
     }
     let schemes: Vec<_> = (0..progs.len()).map(|_| mode.build_scheme()).collect();
     let mut sys = System::new(mem, CoreConfig::default(), schemes, progs);
-    let ring = Shared::new(RingSink::new(RING_CAP));
-    sys.set_observer(Observer::new(vec![Box::new(ring.clone())]));
     let mut limits = RunLimits {
         max_cycles: fuzz::CYCLE_CAP,
         max_insts_per_core: u64::MAX,
@@ -398,10 +409,32 @@ fn capture_events(p: &SmithPlan, fault: Option<FaultKind>) -> String {
     if let Some(wd) = env.watchdog {
         limits.watchdog = Some(wd);
     }
-    let stop = sys.run(limits);
+
+    // Silent pre-pass: advance slice by slice, keeping the last
+    // checkpoint taken before the run stops for real.
+    let mut ckpt = (sys.clone(), env.faults.counters_snapshot());
+    loop {
+        let mut slice = limits;
+        slice.max_cycles = (sys.now() + CAPTURE_STRIDE).min(limits.max_cycles);
+        let stop = sys.run(slice);
+        let at_slice_boundary =
+            matches!(stop, StopReason::CycleLimit) && sys.now() < limits.max_cycles;
+        if !at_slice_boundary {
+            break;
+        }
+        ckpt = (sys.clone(), env.faults.counters_snapshot());
+    }
+
+    let (mut tail, counters) = ckpt;
+    let resumed_at = tail.now();
+    env.faults.restore_counters(&counters);
+    let ring = Shared::new(RingSink::new(RING_CAP));
+    tail.set_observer(Observer::new(vec![Box::new(ring.clone())]));
+    let stop = tail.run(limits);
     ring.with(|r| {
         format!(
-            "; stop: {stop}\n; {} event(s) kept of {} recorded\n{}",
+            "; stop: {stop}\n; resumed from cs-snap checkpoint at cycle {resumed_at}\n\
+             ; {} event(s) kept of {} recorded\n{}",
             r.to_vec().len(),
             r.total_recorded(),
             r.dump()

@@ -4,7 +4,10 @@
 
 use cleanupspec::modes::SecurityMode;
 use cleanupspec::sim::{SimBuilder, SimReport};
+use cleanupspec::snap::{read_checkpoint, write_checkpoint, CheckpointKey};
 use cleanupspec_workloads::spec::{SpecWorkload, SPEC_WORKLOADS};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
 use std::thread;
 
 /// Experiment sizing knobs.
@@ -45,12 +48,98 @@ impl ExperimentConfig {
     }
 }
 
+/// Warmup sizing shared by every harness: a quarter of the measured
+/// region, floored at 10k so tiny runs still warm the predictor, capped
+/// at 100k so huge runs don't over-warm — but never MORE than a quarter
+/// of the run, so `--insts 4000` does not warm 10k and measure 4k from
+/// a fully-primed state the real sweep never sees.
+pub fn warmup_insts(insts: u64) -> u64 {
+    (insts / 4).clamp(10_000, 100_000).min(insts / 4)
+}
+
+/// Directory for the cs-snap result cache, from `CLEANUPSPEC_CHECKPOINT_DIR`.
+/// Figure binaries spawned by `repro_all --checkpoint-dir` inherit it.
+pub fn checkpoint_dir_from_env() -> Option<PathBuf> {
+    std::env::var_os("CLEANUPSPEC_CHECKPOINT_DIR")
+        .filter(|v| !v.is_empty())
+        .map(PathBuf::from)
+}
+
+/// The cache key identifying one `(workload, mode, sizing, seed)` run.
+pub fn checkpoint_key(
+    w: &SpecWorkload,
+    mode: SecurityMode,
+    cfg: &ExperimentConfig,
+) -> CheckpointKey {
+    CheckpointKey {
+        workload: w.name.to_string(),
+        mode,
+        insts: cfg.insts,
+        seed: cfg.seed,
+        warmup: warmup_insts(cfg.insts),
+    }
+}
+
+/// Looks `key` up in the on-disk cs-snap cache. Corrupt or mismatched
+/// files are ignored (and reported) rather than trusted.
+pub fn load_checkpoint(dir: &Path, key: &CheckpointKey) -> Option<SimReport> {
+    let path = dir.join(key.file_name());
+    let text = std::fs::read_to_string(&path).ok()?;
+    match read_checkpoint(&text, key) {
+        Ok(report) => Some(report),
+        Err(e) => {
+            eprintln!("warning: ignoring checkpoint {}: {e}", path.display());
+            None
+        }
+    }
+}
+
+/// Writes `report` into the cache, atomically (write + rename) so a
+/// concurrent reader never sees a half-written file. Unsuccessful runs
+/// are not cacheable and are silently skipped.
+pub fn store_checkpoint(dir: &Path, key: &CheckpointKey, report: &SimReport) {
+    let Some(text) = write_checkpoint(key, report) else {
+        return;
+    };
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!(
+            "warning: cannot create checkpoint dir {}: {e}",
+            dir.display()
+        );
+        return;
+    }
+    let path = dir.join(key.file_name());
+    let tmp = dir.join(format!(".{}.tmp-{}", key.file_name(), std::process::id()));
+    let ok = std::fs::write(&tmp, text).and_then(|()| std::fs::rename(&tmp, &path));
+    if let Err(e) = ok {
+        let _ = std::fs::remove_file(&tmp);
+        eprintln!("warning: cannot write checkpoint {}: {e}", path.display());
+    }
+}
+
 /// Runs one Table-3 workload under `mode` and returns its report.
 pub fn run_spec_workload(
     w: &SpecWorkload,
     mode: SecurityMode,
     cfg: &ExperimentConfig,
 ) -> SimReport {
+    run_spec_workload_checkpointed(w, mode, cfg, checkpoint_dir_from_env().as_deref()).0
+}
+
+/// [`run_spec_workload`] with an explicit cache directory. Returns the
+/// report and whether it was served from the cache (no simulation ran).
+pub fn run_spec_workload_checkpointed(
+    w: &SpecWorkload,
+    mode: SecurityMode,
+    cfg: &ExperimentConfig,
+    checkpoint_dir: Option<&Path>,
+) -> (SimReport, bool) {
+    let key = checkpoint_key(w, mode, cfg);
+    if let Some(dir) = checkpoint_dir {
+        if let Some(report) = load_checkpoint(dir, &key) {
+            return (report, true);
+        }
+    }
     // Mix the FULL workload name into the seed: hashing only the first
     // byte made e.g. "gcc" and "gap" share a program-generation stream.
     let program = w.build(cfg.seed ^ cleanupspec_mem::rng::mix_str(w.name));
@@ -61,8 +150,7 @@ pub fn run_spec_workload(
         .seed(cfg.seed ^ cleanupspec_mem::rng::mix_str(w.name))
         .build();
     // Warm caches/predictor, reset statistics, then measure.
-    let warmup = (cfg.insts / 4).clamp(10_000, 100_000);
-    sim.run_with_warmup(warmup, cfg.insts);
+    sim.run_with_warmup(warmup_insts(cfg.insts), cfg.insts);
     let report = sim.report();
     // A truncated run (cycle-limit exhaustion, livelock) must not pose as
     // a measurement: its IPC and traffic numbers describe a different
@@ -74,7 +162,10 @@ pub fn run_spec_workload(
             mode.name()
         );
     }
-    report
+    if let Some(dir) = checkpoint_dir {
+        store_checkpoint(dir, &key, &report);
+    }
+    (report, false)
 }
 
 /// Runs all 19 workloads under `mode`, in parallel. Results are returned
@@ -84,35 +175,91 @@ pub fn run_all_spec(mode: SecurityMode, cfg: &ExperimentConfig) -> Vec<(SpecWork
 }
 
 /// Runs a subset of workloads under `mode`, in parallel, preserving order.
+///
+/// A panic inside one workload's simulation no longer sinks the whole
+/// sweep: each workload runs under [`catch_unwind`], panicked workloads
+/// are reported by name on stderr, and the surviving reports are
+/// returned (still in input order). Callers that need the sweep to be
+/// complete should compare lengths or pair results by workload name.
 pub fn run_selected_spec(
     workloads: &[SpecWorkload],
     mode: SecurityMode,
     cfg: &ExperimentConfig,
 ) -> Vec<(SpecWorkload, SimReport)> {
-    let chunk = workloads.len().div_ceil(cfg.threads.max(1));
-    let mut out: Vec<Option<(SpecWorkload, SimReport)>> = vec![None; workloads.len()];
+    let (ok, failed) = run_selected_spec_partial(workloads, mode, cfg);
+    if !failed.is_empty() {
+        eprintln!(
+            "warning: {} workload(s) panicked under {} and were dropped from the sweep: {}",
+            failed.len(),
+            mode.name(),
+            failed.join(", ")
+        );
+    }
+    ok
+}
+
+/// [`run_selected_spec`] returning the surviving `(workload, report)`
+/// pairs plus the names of workloads whose simulation panicked.
+pub fn run_selected_spec_partial(
+    workloads: &[SpecWorkload],
+    mode: SecurityMode,
+    cfg: &ExperimentConfig,
+) -> (Vec<(SpecWorkload, SimReport)>, Vec<String>) {
+    sweep_isolated(workloads, cfg.threads, |w| run_spec_workload(w, mode, cfg))
+}
+
+/// Parallel per-workload sweep with crash isolation: `run` executes
+/// under [`catch_unwind`] so one panicking workload costs only its own
+/// slot, not the whole sweep. Order of survivors matches input order.
+pub fn sweep_isolated<F>(
+    workloads: &[SpecWorkload],
+    threads: usize,
+    run: F,
+) -> (Vec<(SpecWorkload, SimReport)>, Vec<String>)
+where
+    F: Fn(&SpecWorkload) -> SimReport + Sync,
+{
+    let chunk = workloads.len().div_ceil(threads.max(1));
+    let mut out: Vec<Option<Option<(SpecWorkload, SimReport)>>> = vec![None; workloads.len()];
+    let run = &run;
     thread::scope(|s| {
         let mut handles = Vec::new();
         for (ci, ws) in workloads.chunks(chunk).enumerate() {
-            let cfg = *cfg;
             handles.push((
                 ci * chunk,
                 s.spawn(move || {
                     ws.iter()
-                        .map(|w| (*w, run_spec_workload(w, mode, &cfg)))
+                        .map(|w| {
+                            // The simulator is freshly built per workload, so
+                            // a panic cannot leave shared state torn.
+                            catch_unwind(AssertUnwindSafe(|| (*w, run(w)))).ok()
+                        })
                         .collect::<Vec<_>>()
                 }),
             ));
         }
         for (base, h) in handles {
-            for (i, r) in h.join().expect("worker panicked").into_iter().enumerate() {
+            // Per-workload panics were caught inside the worker; a join
+            // error here would mean the chunking loop itself panicked.
+            for (i, r) in h
+                .join()
+                .expect("worker harness panicked")
+                .into_iter()
+                .enumerate()
+            {
                 out[base + i] = Some(r);
             }
         }
     });
-    out.into_iter()
-        .map(|o| o.expect("all slots filled"))
-        .collect()
+    let mut ok = Vec::new();
+    let mut failed = Vec::new();
+    for (slot, w) in out.into_iter().zip(workloads) {
+        match slot.expect("all slots filled") {
+            Some(pair) => ok.push(pair),
+            None => failed.push(w.name.to_string()),
+        }
+    }
+    (ok, failed)
 }
 
 /// Runs every workload under several modes; returns `results[mode][wl]`.
@@ -151,6 +298,77 @@ mod tests {
         for (i, (w, _)) in rs.iter().enumerate() {
             assert_eq!(w.name, SPEC_WORKLOADS[i].name);
         }
+    }
+
+    #[test]
+    fn warmup_never_exceeds_quarter_of_measured_region() {
+        // The historical clamp `(insts / 4).clamp(10_000, 100_000)` warmed
+        // 10k insts even for a 4k-inst run, so small sweeps measured from
+        // a cache state the headline sweep never reaches.
+        assert_eq!(warmup_insts(4_000), 1_000);
+        assert_eq!(warmup_insts(ExperimentConfig::quick().insts), 10_000);
+        assert_eq!(warmup_insts(ExperimentConfig::default().insts), 75_000);
+        assert_eq!(warmup_insts(1_000_000), 100_000);
+        for insts in [0, 1, 4_000, 39_999, 40_000, 400_000, 4_000_000] {
+            assert!(warmup_insts(insts) <= insts / 4, "insts={insts}");
+        }
+    }
+
+    #[test]
+    fn panicking_workload_does_not_sink_the_sweep() {
+        let cfg = ExperimentConfig {
+            insts: 2_000,
+            seed: 3,
+            threads: 2,
+        };
+        let (ok, failed) = sweep_isolated(&SPEC_WORKLOADS[..4], cfg.threads, |w| {
+            if w.name == SPEC_WORKLOADS[1].name {
+                panic!("injected workload crash");
+            }
+            run_spec_workload(w, SecurityMode::NonSecure, &cfg)
+        });
+        assert_eq!(failed, vec![SPEC_WORKLOADS[1].name.to_string()]);
+        let names: Vec<&str> = ok.iter().map(|(w, _)| w.name).collect();
+        assert_eq!(
+            names,
+            vec![
+                SPEC_WORKLOADS[0].name,
+                SPEC_WORKLOADS[2].name,
+                SPEC_WORKLOADS[3].name
+            ]
+        );
+    }
+
+    #[test]
+    fn checkpoint_cache_roundtrips_and_skips_resimulation() {
+        let dir = std::env::temp_dir().join(format!(
+            "cs-snap-runner-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = ExperimentConfig {
+            insts: 3_000,
+            seed: 9,
+            threads: 1,
+        };
+        let w = cleanupspec_workloads::spec::spec_workload("gcc").unwrap();
+        let (fresh, cached) =
+            run_spec_workload_checkpointed(&w, SecurityMode::CleanupSpec, &cfg, Some(&dir));
+        assert!(!cached, "first run must simulate");
+        let (replayed, cached) =
+            run_spec_workload_checkpointed(&w, SecurityMode::CleanupSpec, &cfg, Some(&dir));
+        assert!(cached, "second run must come from the cache");
+        assert_eq!(
+            cleanupspec::snap::report_json(&fresh),
+            cleanupspec::snap::report_json(&replayed)
+        );
+        // A different seed is a different key: no false sharing.
+        let other = ExperimentConfig { seed: 10, ..cfg };
+        let (_, cached) =
+            run_spec_workload_checkpointed(&w, SecurityMode::CleanupSpec, &other, Some(&dir));
+        assert!(!cached);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

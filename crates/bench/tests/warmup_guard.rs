@@ -1,0 +1,62 @@
+//! Regression for the `run_with_warmup` warmup-stop bug: a warmup phase
+//! that fails (livelock, cycle-limit exhaustion) used to be silently
+//! discarded, and the measure phase then profiled a half-warm, possibly
+//! wedged system as if it were a valid run. The warmup's stop reason must
+//! be returned and recorded in the report so harnesses flag it truncated.
+
+use cleanupspec::modes::SecurityMode;
+use cleanupspec::sim::SimBuilder;
+use cleanupspec_mem::fault::{FaultKind, FaultPlan};
+use cleanupspec_mem::hierarchy::MemConfig;
+use cleanupspec_workloads::spec::spec_workload;
+
+#[test]
+fn failed_warmup_surfaces_its_stop_and_truncates_the_report() {
+    // Squeeze the MSHR file and plant the leak-mshr-slot fault: every
+    // miss permanently leaks its slot, so the pipeline wedges within the
+    // warmup phase and the forward-progress watchdog fires.
+    let w = spec_workload("mcf").expect("known workload");
+    let mut sim = SimBuilder::new(SecurityMode::CleanupSpec)
+        .program(w.build(7))
+        .mem_config(MemConfig {
+            mshrs_per_core: 4,
+            ..MemConfig::default()
+        })
+        .seed(7)
+        .fault_plan(FaultPlan::single(FaultKind::LeakMshrSlot))
+        .build();
+
+    let stop = sim.run_with_warmup(10_000, 50_000);
+    assert!(
+        !stop.is_success(),
+        "planted MSHR leak should wedge the warmup, got {stop}"
+    );
+
+    let report = sim.report();
+    // The failure is recorded — this is the marker runner.rs and cs-bench
+    // use to print their "report is truncated" warning.
+    assert_eq!(report.stop.as_ref(), Some(&stop));
+    // The measure phase was skipped: nowhere near the measure budget was
+    // committed, and the warmup itself wedged short of its own budget.
+    assert!(
+        report.cores[0].committed_insts < 10_000,
+        "warmup should have wedged before its budget, committed {}",
+        report.cores[0].committed_insts
+    );
+}
+
+#[test]
+fn healthy_warmup_still_measures_the_full_region() {
+    let w = spec_workload("mcf").expect("known workload");
+    let mut sim = SimBuilder::new(SecurityMode::CleanupSpec)
+        .program(w.build(7))
+        .seed(7)
+        .build();
+    let stop = sim.run_with_warmup(1_000, 4_000);
+    assert!(stop.is_success(), "clean run must complete, got {stop}");
+    let report = sim.report();
+    // Stats were reset at the warmup boundary: the measured region covers
+    // the 4k-inst budget, not warmup + measure.
+    assert!(report.cores[0].committed_insts >= 4_000);
+    assert!(report.cores[0].committed_insts < 5_000 + 1_000);
+}

@@ -47,6 +47,7 @@ pub mod modes;
 pub mod schemes;
 pub mod sefe;
 pub mod sim;
+pub mod snap;
 
 pub use modes::SecurityMode;
 pub use schemes::{
@@ -54,12 +55,12 @@ pub use schemes::{
     InvisiSpecVariant, NaiveInvalidate, NonSecure,
 };
 pub use sefe::{SefeLayout, SefeStorage};
-pub use sim::{SimBuilder, SimReport, Simulator};
+pub use sim::{SimBuilder, SimReport, Simulator, Snapshot};
 
 /// Convenient glob-import surface for examples and harnesses.
 pub mod prelude {
     pub use crate::modes::SecurityMode;
-    pub use crate::sim::{SimBuilder, SimReport, Simulator};
+    pub use crate::sim::{SimBuilder, SimReport, Simulator, Snapshot};
     pub use cleanupspec_core::isa::{
         AluOp, BranchCond, Inst, Operand, Pc, Program, ProgramBuilder, Reg,
     };

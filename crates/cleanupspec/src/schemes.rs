@@ -92,7 +92,7 @@ impl Default for CleanupTiming {
 
 /// Non-secure baseline: speculative loads install normally and squashed
 /// loads leave their cache changes behind.
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct NonSecure {
     next_load: u64,
 }
@@ -105,6 +105,10 @@ impl NonSecure {
 }
 
 impl SpeculationScheme for NonSecure {
+    fn boxed_clone(&self) -> Box<dyn SpeculationScheme> {
+        Box::new(self.clone())
+    }
+
     fn name(&self) -> &'static str {
         "non-secure"
     }
@@ -162,7 +166,7 @@ impl SpeculationScheme for NonSecure {
 ///   loads by bumping the epoch, and undo executed squashed loads in
 ///   reverse LoadID order — invalidate installs, restore L1 evictions
 ///   (Sections 3.3–3.4).
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct CleanupSpec {
     timing: CleanupTiming,
     next_load: u64,
@@ -296,6 +300,10 @@ impl CleanupSpec {
 }
 
 impl SpeculationScheme for CleanupSpec {
+    fn boxed_clone(&self) -> Box<dyn SpeculationScheme> {
+        Box::new(self.clone())
+    }
+
     fn name(&self) -> &'static str {
         "cleanupspec"
     }
@@ -362,7 +370,7 @@ impl SpeculationScheme for CleanupSpec {
 /// The Section-2.4.1 strawman: invalidate transient installs on a squash
 /// but do **not** restore the lines they evicted. Fast, but the eviction
 /// channel remains open (demonstrated by the Prime+Probe tests).
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct NaiveInvalidate {
     inner: CleanupSpec,
 }
@@ -380,6 +388,10 @@ impl NaiveInvalidate {
 }
 
 impl SpeculationScheme for NaiveInvalidate {
+    fn boxed_clone(&self) -> Box<dyn SpeculationScheme> {
+        Box::new(self.clone())
+    }
+
     fn name(&self) -> &'static str {
         "naive-invalidate"
     }
@@ -441,7 +453,7 @@ pub enum InvisiSpecVariant {
 /// InvisiSpec: the Redo-based baseline (Section 2.3). Speculative loads are
 /// invisible (no cache change); at commit an update load re-fetches the
 /// data and installs it.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct InvisiSpec {
     variant: InvisiSpecVariant,
     next_load: u64,
@@ -502,6 +514,10 @@ impl InvisiSpec {
 }
 
 impl SpeculationScheme for InvisiSpec {
+    fn boxed_clone(&self) -> Box<dyn SpeculationScheme> {
+        Box::new(self.clone())
+    }
+
     fn name(&self) -> &'static str {
         match self.variant {
             InvisiSpecVariant::Initial => "invisispec-initial",
@@ -602,7 +618,7 @@ impl SpeculationScheme for InvisiSpec {
 /// hit changes only replacement state), but speculative L1 misses are
 /// refused and retried once unsquashable — the Conditional-Speculation /
 /// delay-on-miss family of Section 7.3.2.
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct DelayOnMiss {
     next_load: u64,
     /// Speculative misses that were delayed.
@@ -617,6 +633,10 @@ impl DelayOnMiss {
 }
 
 impl SpeculationScheme for DelayOnMiss {
+    fn boxed_clone(&self) -> Box<dyn SpeculationScheme> {
+        Box::new(self.clone())
+    }
+
     fn name(&self) -> &'static str {
         "delay-on-miss"
     }
@@ -675,7 +695,7 @@ impl SpeculationScheme for DelayOnMiss {
 /// Delay-based baseline: loads issue only once unsquashable. Related to
 /// the delay-everything family the paper contrasts with (NDA, SpecShield;
 /// Section 7.3.2).
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct DelaySpeculativeLoads {
     next_load: u64,
 }
@@ -688,6 +708,10 @@ impl DelaySpeculativeLoads {
 }
 
 impl SpeculationScheme for DelaySpeculativeLoads {
+    fn boxed_clone(&self) -> Box<dyn SpeculationScheme> {
+        Box::new(self.clone())
+    }
+
     fn name(&self) -> &'static str {
         "delay-spec-loads"
     }

@@ -11,11 +11,11 @@ use cleanupspec_core::isa::Program;
 use cleanupspec_core::pipeline::CoreConfig;
 use cleanupspec_core::stats::CoreStats;
 use cleanupspec_core::system::{RunLimits, StopReason, System};
-use cleanupspec_mem::fault::{FaultInjector, FaultPlan};
+use cleanupspec_mem::fault::{FaultCountersSnapshot, FaultInjector, FaultPlan};
 use cleanupspec_mem::hierarchy::{LoadReq, MemConfig, MemHierarchy};
 use cleanupspec_mem::stats::{MemStats, MsgClass, Traffic};
 use cleanupspec_mem::types::{Addr, CoreId, Cycle, LoadId};
-use cleanupspec_obs::{EventSink, Observer};
+use cleanupspec_obs::{EventSink, Observer, SimEvent};
 use std::fmt;
 use std::sync::Arc;
 
@@ -213,8 +213,27 @@ impl Simulator {
     /// Runs `warmup` instructions, clears all statistics (caches, branch
     /// predictor, and pipeline state stay warm), then runs `measure` more
     /// instructions — the usual warm-up + region-of-interest protocol.
+    ///
+    /// If the *warmup* phase itself fails (cycle-limit exhaustion or a
+    /// livelock), the measure phase is skipped and the warmup's stop
+    /// reason is returned — and recorded in [`SimReport::stop`] — so a
+    /// half-warm state is never silently measured as a completed run.
     pub fn run_with_warmup(&mut self, warmup: u64, measure: u64) -> StopReason {
-        self.run_insts(warmup);
+        let warm_stop = self.run_insts(warmup);
+        if !warm_stop.is_success() {
+            return warm_stop;
+        }
+        self.run_measure(measure)
+    }
+
+    /// The region-of-interest half of [`Self::run_with_warmup`]: clears
+    /// all statistics (caches, branch predictor, and pipeline state stay
+    /// warm) and measures `measure` more instructions from here.
+    ///
+    /// Call on a fork produced by [`Snapshot::fork_for_mode`] so a
+    /// shared-warmup measurement runs the exact protocol an unshared
+    /// `run_with_warmup` would after its own warmup phase.
+    pub fn run_measure(&mut self, measure: u64) -> StopReason {
         let base = self.sys.now();
         self.sys.reset_stats();
         self.measure_base = base;
@@ -302,6 +321,81 @@ impl Simulator {
         }
     }
 
+    // ------------------------------------------------------------------
+    // cs-snap: full-state snapshot / restore
+    // ------------------------------------------------------------------
+
+    /// Captures the simulator's complete state as an in-memory
+    /// [`Snapshot`]: every pipeline (ROB/LQ/SQ, registers, predictor
+    /// tables), the per-core schemes, all cache arrays with coherence and
+    /// dirty bits, MSHRs and SEFEs, DRAM queues, CEASER cipher keys, RNG
+    /// streams, cycle counters, watchdog progress, and stats.
+    ///
+    /// Restoring (or forking) the snapshot and running to completion is
+    /// bit-exact with an uninterrupted run — the resume-exactness oracle
+    /// pinned by `tests/snapshot_resume.rs`.
+    pub fn snapshot(&self) -> Snapshot {
+        self.obs.emit(
+            self.sys.now(),
+            SimEvent::SnapshotTaken { at: self.sys.now() },
+        );
+        Snapshot {
+            sys: self.sys.clone(),
+            mode: self.mode,
+            probe_seq: self.probe_seq,
+            measure_base: self.measure_base,
+            last_stop: self.last_stop.clone(),
+            fault_counters: self.sys.mem().fault_injector().counters_snapshot(),
+        }
+    }
+
+    /// Rewinds this simulator to a previously captured [`Snapshot`].
+    ///
+    /// The snapshot is cloned, not consumed, so one checkpoint can seed
+    /// many resumes (the shrinker replays many candidates from the same
+    /// pre-divergence point). The simulator's current event sinks are
+    /// re-attached to the restored state; call [`Self::set_sinks`] first
+    /// if the resumed run must record into fresh sinks.
+    ///
+    /// Fault-injection counters are written back through the *shared*
+    /// injector handle, so a restore rewinds fault state globally — do not
+    /// interleave a restored run with the original on the same plan.
+    ///
+    /// # Panics
+    /// Panics if the snapshot was taken under a different security mode.
+    pub fn restore(&mut self, snap: &Snapshot) {
+        assert_eq!(
+            self.mode, snap.mode,
+            "snapshot was taken under a different security mode"
+        );
+        self.sys = snap.sys.clone();
+        self.probe_seq = snap.probe_seq;
+        self.measure_base = snap.measure_base;
+        self.last_stop = snap.last_stop.clone();
+        self.sys
+            .mem()
+            .fault_injector()
+            .restore_counters(&snap.fault_counters);
+        if self.obs.is_enabled() {
+            self.sys.set_observer(self.obs.clone());
+        }
+        self.obs.emit(
+            self.sys.now(),
+            SimEvent::SnapshotRestored { at: self.sys.now() },
+        );
+    }
+
+    /// Replaces the event-bus observer with one wrapping `sinks`.
+    ///
+    /// Use after [`Self::restore`] when the resumed run must not
+    /// double-count into the sinks the original run already filled. Pass
+    /// an empty vector to detach observation entirely.
+    pub fn set_sinks(&mut self, sinks: Vec<Box<dyn EventSink>>) {
+        let obs = Observer::new(sinks);
+        self.sys.set_observer(obs.clone());
+        self.obs = obs;
+    }
+
     /// Produces the aggregate report.
     pub fn report(&self) -> SimReport {
         let n = self.sys.mem().config().num_cores;
@@ -328,6 +422,65 @@ impl Simulator {
             traffic: self.sys.mem().traffic().clone(),
             cores,
             scheme_counters,
+        }
+    }
+}
+
+/// A bit-exact, in-memory capture of a [`Simulator`]'s full state
+/// (cs-snap).
+///
+/// Obtained from [`Simulator::snapshot`]; consumed by
+/// [`Simulator::restore`] (rewind in place) or [`Snapshot::fork_for_mode`]
+/// (spawn an independent simulator from a shared warm state). `Clone` is a
+/// deep copy, so snapshots can be stockpiled and forked freely.
+#[derive(Clone, Debug)]
+pub struct Snapshot {
+    sys: System,
+    mode: SecurityMode,
+    probe_seq: u64,
+    measure_base: Cycle,
+    last_stop: Option<StopReason>,
+    fault_counters: Option<FaultCountersSnapshot>,
+}
+
+impl Snapshot {
+    /// Security mode the snapshot was taken under.
+    pub fn mode(&self) -> SecurityMode {
+        self.mode
+    }
+
+    /// Simulated cycle at capture time.
+    pub fn now(&self) -> Cycle {
+        self.sys.now()
+    }
+
+    /// Forks this (typically warmed) snapshot into an independent
+    /// simulator that measures under `mode`, swapping in freshly built
+    /// scheme objects for every core. The fork starts with *no* event
+    /// sinks; attach some with [`Simulator::set_sinks`] if needed.
+    ///
+    /// This is the `--shared-warmup` primitive: warm one simulator per
+    /// workload, then fork the snapshot once per security mode instead of
+    /// re-simulating the warmup. It is only sound between modes whose
+    /// [`SecurityMode::apply_mem_config`] produce the same hardware
+    /// configuration (same L1 replacement, L2 randomization, and skews) —
+    /// callers must group modes into such equivalence classes first.
+    pub fn fork_for_mode(&self, mode: SecurityMode) -> Simulator {
+        let mut sys = self.sys.clone();
+        let n = sys.mem().config().num_cores;
+        sys.set_schemes((0..n).map(|_| mode.build_scheme()).collect());
+        let obs = Observer::disabled();
+        sys.set_observer(obs.clone());
+        sys.mem()
+            .fault_injector()
+            .restore_counters(&self.fault_counters);
+        Simulator {
+            sys,
+            mode,
+            obs,
+            probe_seq: self.probe_seq,
+            measure_base: self.measure_base,
+            last_stop: self.last_stop.clone(),
         }
     }
 }

@@ -161,7 +161,7 @@ struct SqEntry {
 }
 
 /// Squash-handling phase.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 enum SquashPhase {
     /// Normal operation.
     Running,
@@ -174,7 +174,12 @@ enum SquashPhase {
 }
 
 /// One simulated out-of-order core.
-#[derive(Debug)]
+///
+/// `Clone` deep-copies the full microarchitectural state — ROB, LQ/SQ,
+/// registers, predictor tables, in-flight squash phase — forming the
+/// per-core half of a cs-snap snapshot. The `Program` stays `Arc`-shared
+/// (immutable) and the observer handle is shared with the clone.
+#[derive(Clone, Debug)]
 pub struct Pipeline {
     core: CoreId,
     cfg: CoreConfig,
@@ -1548,12 +1553,15 @@ mod tests {
     use cleanupspec_mem::hierarchy::{LoadReq, MemConfig};
 
     /// Minimal pass-through scheme used to unit-test the pipeline alone.
-    #[derive(Debug)]
+    #[derive(Clone, Debug)]
     struct Plain;
 
     impl SpeculationScheme for Plain {
         fn name(&self) -> &'static str {
             "plain"
+        }
+        fn boxed_clone(&self) -> Box<dyn SpeculationScheme> {
+            Box::new(self.clone())
         }
         fn issue_load(
             &mut self,

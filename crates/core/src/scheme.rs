@@ -139,6 +139,12 @@ pub trait SpeculationScheme: std::fmt::Debug {
     /// Scheme name for reports.
     fn name(&self) -> &'static str;
 
+    /// Deep-copies the scheme, including every internal counter, pending
+    /// cleanup deadline, and validation-queue slot, so a cs-snap
+    /// [`crate::system::System`] clone resumes with identical policy
+    /// decisions.
+    fn boxed_clone(&self) -> Box<dyn SpeculationScheme>;
+
     /// When loads may issue.
     fn issue_policy(&self) -> LoadIssuePolicy {
         LoadIssuePolicy::Speculative
@@ -212,6 +218,12 @@ pub trait SpeculationScheme: std::fmt::Debug {
     }
 }
 
+impl Clone for Box<dyn SpeculationScheme> {
+    fn clone(&self) -> Self {
+        self.boxed_clone()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -225,11 +237,14 @@ mod tests {
 
     #[test]
     fn default_trait_knobs() {
-        #[derive(Debug)]
+        #[derive(Clone, Debug)]
         struct Dummy;
         impl SpeculationScheme for Dummy {
             fn name(&self) -> &'static str {
                 "dummy"
+            }
+            fn boxed_clone(&self) -> Box<dyn SpeculationScheme> {
+                Box::new(self.clone())
             }
             fn issue_load(
                 &mut self,

@@ -169,6 +169,12 @@ impl CpiStack {
         StallCause::ALL.iter().map(|&c| (c, self.counts[c.index()]))
     }
 
+    /// Overwrites the cycles charged to `cause` (cs-snap checkpoint load;
+    /// production accounting must go through [`Self::charge`]).
+    pub fn set(&mut self, cause: StallCause, n: u64) {
+        self.counts[cause.index()] = n;
+    }
+
     /// Adds another stack's counts into this one (system-level rollups).
     pub fn merge(&mut self, other: &CpiStack) {
         for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {

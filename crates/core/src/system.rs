@@ -178,13 +178,28 @@ impl std::fmt::Display for DiagnosticDump {
 }
 
 /// A complete simulated system: cores + schemes + memory.
-#[derive(Debug)]
+///
+/// `Clone` is the heart of cs-snap: it deep-copies every pipeline, scheme,
+/// cache array, MSHR file, DRAM queue, RNG stream, and the watchdog's
+/// progress markers, so a clone resumed with [`System::run`] is bit-exact
+/// with the original. Two handles are intentionally *shared* with the
+/// clone: the observer (sinks would double-count if duplicated) and the
+/// fault injector inside the hierarchy (its counters are captured
+/// separately via `FaultInjector::counters_snapshot`).
+#[derive(Clone, Debug)]
 pub struct System {
     cores: Vec<Pipeline>,
     schemes: Vec<Box<dyn SpeculationScheme>>,
     mem: MemHierarchy,
     dmem: DataMem,
     now: Cycle,
+    /// Cycle of the last observed commit (any core) — or of the last
+    /// harness `tick_mem_only` phase, which also counts as forward
+    /// progress. Persistent state (not a `run`-local) so that a restored
+    /// snapshot carries the same watchdog gap as the uninterrupted run.
+    last_commit_at: Cycle,
+    /// Total committed instructions at `last_commit_at`.
+    last_committed: u64,
     obs: cleanupspec_obs::Observer,
 }
 
@@ -220,6 +235,8 @@ impl System {
             mem,
             dmem,
             now: 0,
+            last_commit_at: 0,
+            last_committed: 0,
             obs: cleanupspec_obs::Observer::disabled(),
         }
     }
@@ -240,6 +257,9 @@ impl System {
         for c in &mut self.cores {
             c.note_harness_cycle();
         }
+        // Harness phases (priming, probing, draining) are deliberate idle
+        // time, not a livelock: keep the watchdog gap closed.
+        self.last_commit_at = self.now;
     }
 
     /// Advances the whole system by one cycle.
@@ -249,12 +269,21 @@ impl System {
         for (core, scheme) in self.cores.iter_mut().zip(self.schemes.iter_mut()) {
             core.tick(scheme.as_mut(), &mut self.mem, &mut self.dmem, self.now);
         }
+        let committed: u64 = self.cores.iter().map(|c| c.stats().committed_insts).sum();
+        if committed != self.last_committed {
+            self.last_committed = committed;
+            self.last_commit_at = self.now;
+        }
     }
 
     /// Runs until a stop condition is met.
+    ///
+    /// The forward-progress watchdog reads the persistent
+    /// `last_commit_at` marker (updated by every [`Self::tick`] /
+    /// [`Self::tick_mem_only`]) rather than run-local state, so stopping a
+    /// run, snapshotting, and resuming measures the same commit gap as an
+    /// uninterrupted run.
     pub fn run(&mut self, limits: RunLimits) -> StopReason {
-        let mut last_commit_at = self.now;
-        let mut last_committed: u64 = self.cores.iter().map(|c| c.stats().committed_insts).sum();
         loop {
             if self.cores.iter().all(|c| c.halted()) {
                 self.stamp_cycles();
@@ -274,19 +303,14 @@ impl System {
                 return StopReason::CycleLimit;
             }
             if let Some(wd) = limits.watchdog {
-                if self.now.saturating_sub(last_commit_at) >= wd {
+                if self.now.saturating_sub(self.last_commit_at) >= wd {
                     self.stamp_cycles();
-                    let dump = self.diagnostic_dump(last_commit_at, wd);
+                    let dump = self.diagnostic_dump(self.last_commit_at, wd);
                     self.emit_livelock(&dump);
                     return StopReason::Livelock(Box::new(dump));
                 }
             }
             self.tick();
-            let committed: u64 = self.cores.iter().map(|c| c.stats().committed_insts).sum();
-            if committed != last_committed {
-                last_committed = committed;
-                last_commit_at = self.now;
-            }
         }
     }
 
@@ -383,6 +407,21 @@ impl System {
         self.schemes[i].as_ref()
     }
 
+    /// Replaces every core's speculation scheme (one per core).
+    ///
+    /// Used by `--shared-warmup`: a warmed snapshot is forked per security
+    /// mode and the fork's policy objects are swapped in before the
+    /// measured region. Swapping schemes mid-run is only sound when no
+    /// speculative load is in flight (e.g. right after a completed warmup
+    /// run), since in-flight cleanup state lives inside the scheme.
+    ///
+    /// # Panics
+    /// Panics if `schemes.len()` differs from the core count.
+    pub fn set_schemes(&mut self, schemes: Vec<Box<dyn SpeculationScheme>>) {
+        assert_eq!(schemes.len(), self.cores.len(), "one scheme per core");
+        self.schemes = schemes;
+    }
+
     /// Shared memory hierarchy (read-only).
     pub fn mem(&self) -> &MemHierarchy {
         &self.mem
@@ -419,11 +458,14 @@ mod tests {
     use cleanupspec_mem::hierarchy::{LoadReq, MemConfig};
     use cleanupspec_mem::types::LoadId;
 
-    #[derive(Debug)]
+    #[derive(Clone, Debug)]
     struct Plain;
     impl SpeculationScheme for Plain {
         fn name(&self) -> &'static str {
             "plain"
+        }
+        fn boxed_clone(&self) -> Box<dyn SpeculationScheme> {
+            Box::new(self.clone())
         }
         fn issue_load(
             &mut self,

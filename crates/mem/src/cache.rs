@@ -177,7 +177,7 @@ impl std::error::Error for GeometryError {}
 /// in a separate backing store, and the cache model only decides timing and
 /// which side effects (installs, evictions, state changes) occur — exactly
 /// the signals the attacks and CleanupSpec's undo machinery care about.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct SetAssocCache {
     sets: usize,
     ways: usize,

@@ -198,6 +198,13 @@ fn lock(state: &Mutex<FaultState>) -> std::sync::MutexGuard<'_, FaultState> {
         .unwrap_or_else(|poisoned| poisoned.into_inner())
 }
 
+/// By-value copy of an injector's counters, taken for a cs-snap snapshot.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultCountersSnapshot {
+    opportunities: [u64; FaultKind::ALL.len()],
+    fires: [u64; FaultKind::ALL.len()],
+}
+
 /// Per-fault-class counters from one run.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct FaultCounters {
@@ -287,6 +294,32 @@ impl FaultInjector {
         match &self.state {
             None => FaultPlan::default(),
             Some(state) => lock(state).plan.clone(),
+        }
+    }
+
+    /// Freezes the firing counters for a cs-snap snapshot.
+    ///
+    /// Clones of a `FaultInjector` share one `Arc`'d counter block, so
+    /// cloning a `System` does *not* isolate fault state; a snapshot must
+    /// capture the counters by value and write them back on restore for the
+    /// resumed run to fire the same faults at the same opportunities.
+    pub fn counters_snapshot(&self) -> Option<FaultCountersSnapshot> {
+        self.state.as_ref().map(|state| {
+            let s = lock(state);
+            FaultCountersSnapshot {
+                opportunities: s.opportunities,
+                fires: s.fires,
+            }
+        })
+    }
+
+    /// Writes back counters captured by [`Self::counters_snapshot`].
+    /// A `None` snapshot (taken from a disabled handle) is a no-op.
+    pub fn restore_counters(&self, snap: &Option<FaultCountersSnapshot>) {
+        if let (Some(state), Some(snap)) = (&self.state, snap) {
+            let mut s = lock(state);
+            s.opportunities = snap.opportunities;
+            s.fires = snap.fires;
         }
     }
 

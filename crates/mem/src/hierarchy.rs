@@ -74,7 +74,12 @@ impl DirEntry {
 }
 
 /// Memory-hierarchy configuration (defaults follow Table 4 of the paper).
-#[derive(Clone, Debug)]
+///
+/// `PartialEq` lets harnesses group security modes into hardware
+/// equivalence classes (same [`MemConfig`] after
+/// `SecurityMode::apply_mem_config`) — the soundness condition for
+/// sharing a warmed cs-snap snapshot across modes.
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct MemConfig {
     /// Number of cores (private L1s).
     pub num_cores: usize,
@@ -247,7 +252,13 @@ pub struct StoreOutcome {
 }
 
 /// The simulated memory hierarchy.
-#[derive(Debug)]
+///
+/// `Clone` deep-copies every array, MSHR file, DRAM queue, CEASER cipher,
+/// and RNG stream — the memory half of a cs-snap [`Snapshot`]. The
+/// observer handle and fault injector are shared (`Arc`) with the clone;
+/// the injector's firing counters are snapshotted separately by
+/// [`crate::fault::FaultInjector::counters_snapshot`].
+#[derive(Clone, Debug)]
 pub struct MemHierarchy {
     cfg: MemConfig,
     l1: Vec<SetAssocCache>,

@@ -134,7 +134,7 @@ pub struct MshrToken {
 }
 
 /// A fixed-capacity MSHR file for one core.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct MshrFile {
     core: CoreId,
     slots: Vec<Option<MshrEntry>>,

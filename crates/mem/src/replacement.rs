@@ -14,6 +14,10 @@ use crate::rng::SplitMix64;
 /// `(set, way)`. The cache guarantees `set < num_sets` and `way < ways` as
 /// configured at construction.
 pub trait ReplacementPolicy: std::fmt::Debug {
+    /// Deep-copies the policy, including RNG streams and per-set metadata,
+    /// so a snapshotted cache replays victim choices bit-exactly (cs-snap).
+    fn boxed_clone(&self) -> Box<dyn ReplacementPolicy>;
+
     /// Records a demand hit on `(set, way)`.
     fn on_hit(&mut self, set: usize, way: usize);
 
@@ -32,9 +36,15 @@ pub trait ReplacementPolicy: std::fmt::Debug {
     fn hit_updates_state(&self) -> bool;
 }
 
+impl Clone for Box<dyn ReplacementPolicy> {
+    fn clone(&self) -> Self {
+        self.boxed_clone()
+    }
+}
+
 /// True least-recently-used replacement, implemented with a per-line
 /// last-touch timestamp.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct Lru {
     ways: usize,
     stamp: Vec<u64>,
@@ -58,6 +68,10 @@ impl Lru {
 }
 
 impl ReplacementPolicy for Lru {
+    fn boxed_clone(&self) -> Box<dyn ReplacementPolicy> {
+        Box::new(self.clone())
+    }
+
     fn on_hit(&mut self, set: usize, way: usize) {
         self.touch(set, way);
     }
@@ -84,7 +98,7 @@ impl ReplacementPolicy for Lru {
 
 /// Random replacement: victim selection is independent of access history, so
 /// hits carry no information (CleanupSpec's L1 policy, Section 3.2).
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct RandomRepl {
     ways: usize,
     rng: SplitMix64,
@@ -101,6 +115,10 @@ impl RandomRepl {
 }
 
 impl ReplacementPolicy for RandomRepl {
+    fn boxed_clone(&self) -> Box<dyn ReplacementPolicy> {
+        Box::new(self.clone())
+    }
+
     fn on_hit(&mut self, _set: usize, _way: usize) {}
 
     fn on_install(&mut self, _set: usize, _way: usize) {}
@@ -123,7 +141,7 @@ impl ReplacementPolicy for RandomRepl {
 /// Provided as the "intelligent replacement policy" that a randomized L2 can
 /// safely keep using (Section 3.2: "intelligent replacement policies can be
 /// freely used for the L2 cache").
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct TreePlru {
     ways: usize,
     // ways-1 internal nodes per set, flattened.
@@ -167,6 +185,10 @@ impl TreePlru {
 }
 
 impl ReplacementPolicy for TreePlru {
+    fn boxed_clone(&self) -> Box<dyn ReplacementPolicy> {
+        Box::new(self.clone())
+    }
+
     fn on_hit(&mut self, set: usize, way: usize) {
         self.promote(set, way);
     }

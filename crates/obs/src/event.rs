@@ -302,6 +302,17 @@ pub enum SimEvent {
         /// Live speculation-tagged MSHR entries (pending SEFEs).
         sefes: u64,
     },
+    /// cs-snap captured a full-state snapshot of the running system.
+    SnapshotTaken {
+        /// Simulated cycle at capture time.
+        at: u64,
+    },
+    /// cs-snap rewound the system to a previously captured snapshot (or
+    /// forked a new simulator from one).
+    SnapshotRestored {
+        /// Simulated cycle the restored state resumes from.
+        at: u64,
+    },
 
     // ------------------------------------------------------------ mshr
     /// An MSHR entry was allocated. `spec` entries double as SEFE
@@ -449,6 +460,8 @@ impl SimEvent {
             SimEvent::GetsSafeDefer { .. } => "gets-safe-defer",
             SimEvent::Downgrade { .. } => "downgrade",
             SimEvent::Livelock { .. } => "livelock",
+            SimEvent::SnapshotTaken { .. } => "snapshot-taken",
+            SimEvent::SnapshotRestored { .. } => "snapshot-restored",
             SimEvent::MshrAlloc { .. } => "mshr-alloc",
             SimEvent::MshrRetire { .. } => "mshr-retire",
             SimEvent::MshrDrop { .. } => "mshr-drop",
@@ -476,7 +489,9 @@ impl SimEvent {
             | SimEvent::Fault { .. }
             | SimEvent::CleanupStart { .. }
             | SimEvent::CleanupEnd { .. }
-            | SimEvent::Livelock { .. } => Layer::Pipeline,
+            | SimEvent::Livelock { .. }
+            | SimEvent::SnapshotTaken { .. }
+            | SimEvent::SnapshotRestored { .. } => Layer::Pipeline,
             SimEvent::Fill { .. }
             | SimEvent::Evict { .. }
             | SimEvent::BackInval { .. }
@@ -529,7 +544,10 @@ impl SimEvent {
             | SimEvent::Livelock { core, .. }
             | SimEvent::DramRead { core, .. } => Some(core),
             SimEvent::Downgrade { owner, .. } => Some(owner),
-            SimEvent::CeaserRemap { .. } | SimEvent::DramWriteback { .. } => None,
+            SimEvent::CeaserRemap { .. }
+            | SimEvent::DramWriteback { .. }
+            | SimEvent::SnapshotTaken { .. }
+            | SimEvent::SnapshotRestored { .. } => None,
         }
     }
 
@@ -700,6 +718,9 @@ impl SimEvent {
                 ("mshr", U64(mshr)),
                 ("sefes", U64(sefes)),
             ],
+            SimEvent::SnapshotTaken { at } | SimEvent::SnapshotRestored { at } => {
+                vec![("at", U64(at))]
+            }
             SimEvent::MshrAlloc {
                 core,
                 line,

@@ -113,6 +113,25 @@ impl Histogram {
             .map(|(i, &c)| (bucket_lo(i), bucket_hi(i), c))
     }
 
+    /// Decomposes into raw parts `(counts, total, sum, max)` for exact
+    /// serialization (cs-snap checkpoints). `sum` is the full `u128`
+    /// sample sum — serialize it as a decimal string, not a JSON number.
+    pub fn raw_parts(&self) -> (&[u64; 65], u64, u128, u64) {
+        (&self.counts, self.total, self.sum, self.max)
+    }
+
+    /// Rebuilds a histogram from [`Self::raw_parts`] output (cs-snap
+    /// checkpoint load). The parts are trusted as-is; consistency is
+    /// enforced by the checkpoint's digest, not here.
+    pub fn from_raw_parts(counts: [u64; 65], total: u64, sum: u128, max: u64) -> Self {
+        Histogram {
+            counts,
+            total,
+            sum,
+            max,
+        }
+    }
+
     /// Merges another histogram's samples into this one.
     pub fn merge(&mut self, other: &Histogram) {
         for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
