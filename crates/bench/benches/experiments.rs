@@ -6,7 +6,8 @@
 use cleanupspec::modes::SecurityMode;
 use cleanupspec::sim::SimBuilder;
 use cleanupspec_bench::microbench::Bencher;
-use cleanupspec_bench::runner::{run_spec_workload, ExperimentConfig};
+use cleanupspec_bench::runner::ExperimentConfig;
+use cleanupspec_bench::Sweep;
 use cleanupspec_workloads::attacks::{run_spectre_v1, spectre_v1_program, SpectreConfig};
 use cleanupspec_workloads::micro::{alu_loop, mispredict_storm};
 use cleanupspec_workloads::sharing::sharing_workload;
@@ -32,7 +33,13 @@ fn bench_modes(b: &Bencher) {
         SecurityMode::DelaySpeculativeLoads,
     ] {
         b.run("fig12_tab06_modes", mode.name(), || {
-            run_spec_workload(&w, mode, &quick())
+            // threads=1 runs in-process on the caller, so the bench still
+            // measures the simulation, not pool spin-up.
+            Sweep::new()
+                .workloads(std::slice::from_ref(&w))
+                .mode(mode)
+                .config(&quick())
+                .run()
         });
     }
 }
@@ -47,7 +54,11 @@ fn bench_randomization(b: &Bencher) {
         SecurityMode::BothRandomOnly,
     ] {
         b.run("tab01_randomization", mode.name(), || {
-            run_spec_workload(&w, mode, &quick())
+            Sweep::new()
+                .workloads(std::slice::from_ref(&w))
+                .mode(mode)
+                .config(&quick())
+                .run()
         });
     }
 }

@@ -342,6 +342,77 @@ pub fn compare_documents(
     Ok(regressions)
 }
 
+/// Re-serializes a BENCH document with every host-varying field removed:
+/// the top-level `host` section (wall timings, KIPS, pool counters) and
+/// the per-workload `wall_secs`/`host_kips` fields. Everything that
+/// remains is derived from seed-deterministic simulation, so two runs of
+/// the same suite at *any* thread counts must canonicalize to the same
+/// bytes — the property `tests/exec_invariance.rs` and the CI exec job
+/// assert. Object keys serialize in `BTreeMap` order, so the output is
+/// itself deterministic.
+pub fn canonical_json(doc: &JsonValue) -> String {
+    fn volatile(key: &str) -> bool {
+        matches!(key, "host" | "wall_secs" | "host_kips")
+    }
+    fn write(v: &JsonValue, out: &mut String) {
+        match v {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::Num(f) => {
+                // Integral values print without a fraction so a u64 that
+                // round-tripped through f64 looks like the original.
+                if f.fract() == 0.0 && f.abs() < 9.0e15 {
+                    out.push_str(&format!("{}", *f as i64));
+                } else {
+                    out.push_str(&format!("{f:?}"));
+                }
+            }
+            JsonValue::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\t' => out.push_str("\\t"),
+                        '\r' => out.push_str("\\r"),
+                        c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            JsonValue::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write(item, out);
+                }
+                out.push(']');
+            }
+            JsonValue::Obj(map) => {
+                out.push('{');
+                let mut first = true;
+                for (k, item) in map.iter().filter(|(k, _)| !volatile(k)) {
+                    if !first {
+                        out.push(',');
+                    }
+                    first = false;
+                    write(&JsonValue::Str(k.clone()), out);
+                    out.push(':');
+                    write(item, out);
+                }
+                out.push('}');
+            }
+        }
+    }
+    let mut out = String::new();
+    write(doc, &mut out);
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -400,5 +471,25 @@ mod tests {
         // Improvements never flag.
         let faster = JsonValue::parse(&synthetic_doc(2.0, true)).unwrap();
         assert!(compare_documents(&old, &faster, 0.10).unwrap().is_empty());
+    }
+
+    #[test]
+    fn canonical_form_ignores_host_varying_fields_only() {
+        // Same simulated numbers, different wall/host numbers ...
+        let a = JsonValue::parse(&synthetic_doc(1.2, true)).unwrap();
+        let b_text = synthetic_doc(1.2, true)
+            .replace("\"wall_secs\": 0.5", "\"wall_secs\": 9.9")
+            .replace("\"host_kips\": 0.24", "\"host_kips\": 777.0")
+            .replace(
+                "\"host\": {\"counters\": {}, \"gauges\": {}, \"timers_secs\": {}}",
+                "\"host\": {\"counters\": {\"exec.tasks\": 12}, \"gauges\": {}, \"timers_secs\": {}}",
+            );
+        let b = JsonValue::parse(&b_text).unwrap();
+        // ... must canonicalize identically,
+        assert_eq!(canonical_json(&a), canonical_json(&b));
+        assert!(!canonical_json(&a).contains("wall_secs"));
+        // while a simulated difference must survive canonicalization.
+        let c = JsonValue::parse(&synthetic_doc(1.3, true)).unwrap();
+        assert_ne!(canonical_json(&a), canonical_json(&c));
     }
 }

@@ -9,23 +9,28 @@
 
 use cleanupspec::modes::SecurityMode;
 use cleanupspec_bench::fmt::{geomean, slowdown_pct, table};
-use cleanupspec_bench::runner::{run_all_spec, ExperimentConfig};
+use cleanupspec_bench::runner::ExperimentConfig;
+use cleanupspec_bench::Sweep;
 
 fn main() {
     let cfg = ExperimentConfig::default();
     println!("== Ablations: every mode vs non-secure ==");
     println!("   {} instructions per workload\n", cfg.insts);
-    let base = run_all_spec(SecurityMode::NonSecure, &cfg);
+    // One sweep over the full mode x workload matrix: the work-stealing
+    // pool balances all of it instead of |ALL| serial per-mode passes.
+    let sweep = Sweep::new().modes(&SecurityMode::ALL).config(&cfg).run();
+    sweep.warn_if_incomplete();
+    let base = &sweep.mode(SecurityMode::NonSecure).expect("baseline").runs;
     let mut rows = Vec::new();
     for mode in SecurityMode::ALL {
         if mode == SecurityMode::NonSecure {
             continue;
         }
-        let rs = run_all_spec(mode, &cfg);
+        let rs = &sweep.mode(mode).expect("swept mode").runs;
         let factors: Vec<f64> = base
             .iter()
-            .zip(&rs)
-            .map(|((_, b), (_, r))| r.slowdown_vs(b))
+            .zip(rs.iter())
+            .map(|(b, r)| r.report.slowdown_vs(&b.report))
             .collect();
         rows.push(vec![
             mode.name().to_string(),

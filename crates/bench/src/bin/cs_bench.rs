@@ -14,43 +14,40 @@
 //! `--compare` gates on IPC only: simulated cycle counts are
 //! deterministic per seed, so IPC is machine-independent, while the host
 //! metrics (wall, KIPS) vary by machine and are never gated.
+//!
+//! The sweep itself runs on the shared `cs-exec` work-stealing pool via
+//! [`cleanupspec_bench::suite::run_suite`]; this binary only parses
+//! flags, prints the summary, and writes the artifact.
 
 use cleanupspec::modes::SecurityMode;
-use cleanupspec::sim::{SimBuilder, SimReport};
-use cleanupspec_bench::bench_report::{
-    check_document, compare_documents, BenchReport, ModeSection, SCHEMA,
-};
+use cleanupspec_bench::bench_report::{check_document, compare_documents, SCHEMA};
+use cleanupspec_bench::cli::CommonCli;
 use cleanupspec_bench::fmt::table;
-use cleanupspec_bench::runner::{
-    checkpoint_dir_from_env, checkpoint_key, load_checkpoint, store_checkpoint, warmup_insts,
-    ExperimentConfig,
-};
-use cleanupspec_mem::MemConfig;
-use cleanupspec_obs::{JsonValue, MetricsRegistry, RingSink, Shared};
+use cleanupspec_bench::runner::ExperimentConfig;
+use cleanupspec_bench::suite::{run_suite, smoke_workloads, SuiteOptions};
+use cleanupspec_obs::JsonValue;
 use cleanupspec_workloads::spec::{SpecWorkload, SPEC_WORKLOADS};
-use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::path::{Path, PathBuf};
 use std::process::ExitCode;
-use std::time::Instant;
-
-/// CI-sized subset: one workload per behavior class (high-MLP, memory
-/// bound, squash heavy, compute bound, mixed).
-const SMOKE_WORKLOADS: [&str; 5] = ["gcc", "mcf", "lbm", "astar", "milc"];
 
 struct Args {
-    insts: Option<u64>,
-    seed: Option<u64>,
-    threads: Option<usize>,
+    common: CommonCli,
     modes: Vec<SecurityMode>,
     workloads: Option<Vec<String>>,
     out: String,
     smoke: bool,
-    ring_capacity: usize,
     threshold: f64,
     shared_warmup: bool,
-    checkpoint_dir: Option<PathBuf>,
     check: Option<String>,
     compare: Option<(String, String)>,
+}
+
+fn common_cli() -> CommonCli {
+    CommonCli::new()
+        .with_insts()
+        .with_seed()
+        .with_threads()
+        .with_ring_capacity()
+        .with_checkpoint_dir()
 }
 
 fn usage() -> ExitCode {
@@ -61,6 +58,7 @@ fn usage() -> ExitCode {
          \x20      cs-bench --check FILE\n\
          \x20      cs-bench --compare OLD NEW [--threshold FRAC]"
     );
+    eprintln!("{}", common_cli().help());
     eprintln!(
         "modes: {}",
         SecurityMode::ALL
@@ -74,40 +72,28 @@ fn usage() -> ExitCode {
 
 fn parse_args() -> Result<Args, ExitCode> {
     let mut args = Args {
-        insts: None,
-        seed: None,
-        threads: None,
+        common: common_cli(),
         modes: SecurityMode::MAIN.to_vec(),
         workloads: None,
         out: String::new(),
         smoke: false,
-        ring_capacity: 100_000,
         threshold: 0.10,
         shared_warmup: false,
-        checkpoint_dir: None,
         check: None,
         compare: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut it = argv.iter();
     while let Some(a) = it.next() {
+        match args.common.accept(a, &mut it) {
+            Ok(true) => continue,
+            Ok(false) => {}
+            Err(e) => {
+                eprintln!("cs-bench: {e}");
+                return Err(usage());
+            }
+        }
         match a.as_str() {
-            "--insts" => match it.next().and_then(|n| n.parse().ok()) {
-                Some(n) => args.insts = Some(n),
-                None => return Err(usage()),
-            },
-            "--seed" => match it.next().and_then(|n| n.parse().ok()) {
-                Some(n) => args.seed = Some(n),
-                None => return Err(usage()),
-            },
-            "--threads" => match it.next().and_then(|n| n.parse().ok()) {
-                Some(n) => args.threads = Some(n),
-                None => return Err(usage()),
-            },
-            "--ring-capacity" => match it.next().and_then(|n| n.parse().ok()) {
-                Some(n) => args.ring_capacity = n,
-                None => return Err(usage()),
-            },
             "--threshold" => match it.next().and_then(|n| n.parse().ok()) {
                 Some(n) => args.threshold = n,
                 None => return Err(usage()),
@@ -140,10 +126,6 @@ fn parse_args() -> Result<Args, ExitCode> {
             },
             "--smoke" => args.smoke = true,
             "--shared-warmup" => args.shared_warmup = true,
-            "--checkpoint-dir" => match it.next() {
-                Some(d) => args.checkpoint_dir = Some(PathBuf::from(d)),
-                None => return Err(usage()),
-            },
             "--check" => match it.next() {
                 Some(f) => args.check = Some(f.clone()),
                 None => return Err(usage()),
@@ -170,293 +152,16 @@ fn load_doc(path: &str) -> Result<JsonValue, String> {
     JsonValue::parse(&text).map_err(|e| format!("{path}: {e}"))
 }
 
-/// Prints the standard early-stop warning for a truncated report.
-fn warn_if_truncated(name: &str, mode: SecurityMode, report: &SimReport) {
-    if let Some(stop) = report.stop.as_ref().filter(|s| !s.is_success()) {
-        eprintln!(
-            "warning: {name} under {} stopped early ({stop}); report is truncated",
-            mode.name()
-        );
-    }
-}
-
-/// One workload×mode run with an events ring attached, timed on the host
-/// wall clock. Returns (report, wall_secs, events_recorded,
-/// events_dropped, served_from_checkpoint). A checkpoint hit skips the
-/// simulation entirely, so its wall time is the file read and its event
-/// counts are zero.
-fn run_one(
-    w: &SpecWorkload,
-    mode: SecurityMode,
-    cfg: &ExperimentConfig,
-    ring_capacity: usize,
-    checkpoint_dir: Option<&Path>,
-) -> (SimReport, f64, u64, u64, bool) {
-    let key = checkpoint_key(w, mode, cfg);
-    if let Some(dir) = checkpoint_dir {
-        let start = Instant::now();
-        if let Some(report) = load_checkpoint(dir, &key) {
-            return (report, start.elapsed().as_secs_f64(), 0, 0, true);
-        }
-    }
-    let seed = cfg.seed ^ cleanupspec_mem::rng::mix_str(w.name);
-    let ring = Shared::new(RingSink::new(ring_capacity));
-    let mut sim = SimBuilder::new(mode)
-        .program(w.build(seed))
-        .seed(seed)
-        .sink(Box::new(ring.clone()))
-        .build();
-    let start = Instant::now();
-    sim.run_with_warmup(warmup_insts(cfg.insts), cfg.insts);
-    let wall = start.elapsed().as_secs_f64();
-    sim.finish_observer();
-    let report = sim.report();
-    warn_if_truncated(w.name, mode, &report);
-    if let Some(dir) = checkpoint_dir {
-        store_checkpoint(dir, &key, &report);
-    }
-    let (recorded, dropped) = ring.with(|s| (s.total_recorded(), s.dropped()));
-    (report, wall, recorded, dropped, false)
-}
-
-/// One row of a mode sweep: (workload name, report, wall seconds, events
-/// recorded, events dropped).
-type RunRow = (String, SimReport, f64, u64, u64);
-
-/// Runs `workloads` under `mode` in parallel chunks (same scheme as
-/// `runner::run_selected_spec`), preserving order. A panicking workload
-/// costs its own slot, not the sweep: survivors are returned along with
-/// the names of workloads that panicked.
-fn run_mode(
-    workloads: &[SpecWorkload],
-    mode: SecurityMode,
-    cfg: &ExperimentConfig,
-    ring_capacity: usize,
-    checkpoint_dir: Option<&Path>,
-) -> (Vec<RunRow>, Vec<String>, u64) {
-    let chunk = workloads.len().div_ceil(cfg.threads.max(1));
-    let mut out: Vec<Option<Option<(RunRow, bool)>>> = vec![None; workloads.len()];
-    std::thread::scope(|s| {
-        let mut handles = Vec::new();
-        for (ci, ws) in workloads.chunks(chunk).enumerate() {
-            let cfg = *cfg;
-            handles.push((
-                ci * chunk,
-                s.spawn(move || {
-                    ws.iter()
-                        .map(|w| {
-                            catch_unwind(AssertUnwindSafe(|| {
-                                let (r, wall, rec, drop, cached) =
-                                    run_one(w, mode, &cfg, ring_capacity, checkpoint_dir);
-                                ((w.name.to_string(), r, wall, rec, drop), cached)
-                            }))
-                            .ok()
-                        })
-                        .collect::<Vec<_>>()
-                }),
-            ));
-        }
-        for (base, h) in handles {
-            for (i, r) in h
-                .join()
-                .expect("worker harness panicked")
-                .into_iter()
-                .enumerate()
-            {
-                out[base + i] = Some(r);
-            }
-        }
-    });
-    let mut rows = Vec::new();
-    let mut failed = Vec::new();
-    let mut cache_hits = 0;
-    for (slot, w) in out.into_iter().zip(workloads) {
-        match slot.expect("all slots filled") {
-            Some((row, cached)) => {
-                rows.push(row);
-                cache_hits += u64::from(cached);
-            }
-            None => failed.push(w.name.to_string()),
-        }
-    }
-    (rows, failed, cache_hits)
-}
-
-/// Host-side accounting for `--shared-warmup`.
-#[derive(Clone, Copy, Debug, Default)]
-struct WarmupShareStats {
-    /// Warmup phases actually simulated.
-    warmups_run: u64,
-    /// Warmup phases skipped because a class-mate's snapshot was forked.
-    warmups_saved: u64,
-    /// Wall seconds spent inside warmup simulation.
-    warmup_wall: f64,
-}
-
-impl WarmupShareStats {
-    fn merge(&mut self, other: WarmupShareStats) {
-        self.warmups_run += other.warmups_run;
-        self.warmups_saved += other.warmups_saved;
-        self.warmup_wall += other.warmup_wall;
-    }
-}
-
-/// Runs every mode for one workload, warming once per hardware
-/// equivalence class and forking the warmed cs-snap snapshot per mode.
-/// Returns one row per mode, in `modes` order.
-///
-/// Methodology caveat (also in EXPERIMENTS.md): the shared warmup phase
-/// executes under the class representative's *scheme*, so modes whose
-/// scheme shapes warmup-era cache contents (e.g. InvisiSpec) measure
-/// from a slightly different warm state than an unshared run. Results
-/// are deterministic and comparable across modes, but not bit-identical
-/// to the default protocol — which is why this is opt-in and the CI
-/// baseline is recorded without it.
-fn run_workload_shared(
-    w: &SpecWorkload,
-    modes: &[SecurityMode],
-    cfg: &ExperimentConfig,
-    ring_capacity: usize,
-) -> (Vec<RunRow>, WarmupShareStats) {
-    let seed = cfg.seed ^ cleanupspec_mem::rng::mix_str(w.name);
-    let warmup = warmup_insts(cfg.insts);
-    let classes = SecurityMode::mem_config_classes(modes, &MemConfig::default());
-    let mut stats = WarmupShareStats::default();
-    let mut rows: Vec<(SecurityMode, RunRow)> = Vec::new();
-    for class in &classes {
-        let rep = class[0];
-        let warm_start = Instant::now();
-        let mut warm = SimBuilder::new(rep)
-            .program(w.build(seed))
-            .seed(seed)
-            .build();
-        let warm_stop = warm.run_insts(warmup);
-        stats.warmup_wall += warm_start.elapsed().as_secs_f64();
-        stats.warmups_run += 1;
-        if !warm_stop.is_success() {
-            // A truncated warmup cannot seed forks; fall back to the
-            // unshared protocol so each mode reports its own stop reason.
-            eprintln!(
-                "warning: shared warmup of {} under {} stopped early ({warm_stop}); \
-                 falling back to per-mode warmup for this class",
-                w.name,
-                rep.name()
-            );
-            for &m in class {
-                let (r, wall, rec, drop, _) = run_one(w, m, cfg, ring_capacity, None);
-                rows.push((m, (w.name.to_string(), r, wall, rec, drop)));
-                stats.warmups_run += 1;
-            }
-            continue;
-        }
-        stats.warmups_saved += class.len() as u64 - 1;
-        let snap = warm.snapshot();
-        for &m in class {
-            let ring = Shared::new(RingSink::new(ring_capacity));
-            let start = Instant::now();
-            let mut fork = snap.fork_for_mode(m);
-            fork.set_sinks(vec![Box::new(ring.clone())]);
-            fork.run_measure(cfg.insts);
-            let wall = start.elapsed().as_secs_f64();
-            fork.finish_observer();
-            let report = fork.report();
-            warn_if_truncated(w.name, m, &report);
-            let (rec, drop) = ring.with(|s| (s.total_recorded(), s.dropped()));
-            rows.push((m, (w.name.to_string(), report, wall, rec, drop)));
-        }
-    }
-    // Classes interleave the mode order; restore it.
-    let ordered = modes
-        .iter()
-        .map(|m| {
-            let i = rows
-                .iter()
-                .position(|(rm, _)| rm == m)
-                .expect("every mode ran exactly once");
-            rows.remove(i).1
-        })
-        .collect();
-    (ordered, stats)
-}
-
-/// One workload's shared-warmup outcome: `None` when its simulation
-/// panicked, otherwise the per-mode rows plus warmup-savings stats.
-type SharedOutcome = Option<(Vec<RunRow>, WarmupShareStats)>;
-
-/// The `--shared-warmup` sweep: workloads in parallel, all modes per
-/// workload on one thread (forked from at most one warm snapshot per
-/// hardware class). Returns rows transposed to `[mode][workload]` plus
-/// the names of workloads whose simulation panicked.
-fn run_suite_shared(
-    workloads: &[SpecWorkload],
-    modes: &[SecurityMode],
-    cfg: &ExperimentConfig,
-    ring_capacity: usize,
-) -> (Vec<Vec<RunRow>>, Vec<String>, WarmupShareStats) {
-    let chunk = workloads.len().div_ceil(cfg.threads.max(1));
-    let mut out: Vec<Option<SharedOutcome>> = vec![None; workloads.len()];
-    std::thread::scope(|s| {
-        let mut handles = Vec::new();
-        for (ci, ws) in workloads.chunks(chunk).enumerate() {
-            let cfg = *cfg;
-            handles.push((
-                ci * chunk,
-                s.spawn(move || {
-                    ws.iter()
-                        .map(|w| {
-                            catch_unwind(AssertUnwindSafe(|| {
-                                run_workload_shared(w, modes, &cfg, ring_capacity)
-                            }))
-                            .ok()
-                        })
-                        .collect::<Vec<_>>()
-                }),
-            ));
-        }
-        for (base, h) in handles {
-            for (i, r) in h
-                .join()
-                .expect("worker harness panicked")
-                .into_iter()
-                .enumerate()
-            {
-                out[base + i] = Some(r);
-            }
-        }
-    });
-    let mut stats = WarmupShareStats::default();
-    let mut per_workload: Vec<Vec<RunRow>> = Vec::new();
-    let mut failed = Vec::new();
-    for (slot, w) in out.into_iter().zip(workloads) {
-        match slot.expect("all slots filled") {
-            Some((rows, s)) => {
-                stats.merge(s);
-                per_workload.push(rows);
-            }
-            None => failed.push(w.name.to_string()),
-        }
-    }
-    // Transpose [workload][mode] -> [mode][workload].
-    let per_mode = (0..modes.len())
-        .map(|mi| per_workload.iter().map(|rows| rows[mi].clone()).collect())
-        .collect();
-    (per_mode, failed, stats)
-}
-
-fn run_suite(args: &Args) -> ExitCode {
+fn run(args: &Args) -> ExitCode {
     let mut cfg = ExperimentConfig::default();
     if args.smoke {
         cfg.insts = 20_000;
     }
-    if let Some(n) = args.insts {
+    if let Some(n) = args.common.insts {
         cfg.insts = n;
     }
-    if let Some(s) = args.seed {
-        cfg.seed = s;
-    }
-    if let Some(t) = args.threads {
-        cfg.threads = t;
-    }
+    cfg.seed = args.common.seed.unwrap_or(cfg.seed);
+    cfg.threads = args.common.threads_or_default();
 
     let workloads: Vec<SpecWorkload> = match (&args.workloads, args.smoke) {
         (Some(names), _) => {
@@ -472,165 +177,53 @@ fn run_suite(args: &Args) -> ExitCode {
             }
             ws
         }
-        (None, true) => SPEC_WORKLOADS
-            .iter()
-            .filter(|w| SMOKE_WORKLOADS.contains(&w.name))
-            .copied()
-            .collect(),
+        (None, true) => smoke_workloads(),
         (None, false) => SPEC_WORKLOADS.to_vec(),
     };
 
-    // Slowdowns are relative to NonSecure; run it first even if the
-    // requested mode list omits it.
-    let baseline_mode = SecurityMode::NonSecure;
-    let mut modes = args.modes.clone();
-    modes.retain(|m| *m != baseline_mode);
-    modes.insert(0, baseline_mode);
-
+    let opts = SuiteOptions {
+        cfg,
+        modes: args.modes.clone(),
+        workloads,
+        ring_capacity: args.common.ring_capacity_or_default(),
+        shared_warmup: args.shared_warmup,
+        // `--checkpoint-dir` wins over the environment; `run_suite`
+        // disables the cache under --shared-warmup because its warmup
+        // protocol differs from the one the cache key describes.
+        checkpoint_dir: args.common.checkpoint_dir_or_env(),
+    };
     println!(
         "== cs-bench: {} workloads x {} modes, {} insts each ==",
-        workloads.len(),
-        modes.len(),
-        cfg.insts
+        opts.workloads.len(),
+        opts.modes.len() + usize::from(!opts.modes.contains(&SecurityMode::NonSecure)),
+        opts.cfg.insts
     );
+    let outcome = run_suite(&opts);
 
-    // `--checkpoint-dir` wins over the environment; `--shared-warmup`
-    // disables the cache because its warmup protocol differs from the
-    // one the cache key describes.
-    let checkpoint_dir = args
-        .checkpoint_dir
-        .clone()
-        .or_else(checkpoint_dir_from_env)
-        .filter(|_| !args.shared_warmup);
-
-    let mut host = MetricsRegistry::new();
-    let suite_start = Instant::now();
-
-    // Collect rows per mode (same order as `modes`), either by forking
-    // shared warm snapshots or by independent per-mode runs.
-    let mut mode_rows: Vec<Vec<RunRow>> = Vec::new();
-    if args.shared_warmup {
-        let (rows, failed, wstats) = run_suite_shared(&workloads, &modes, &cfg, args.ring_capacity);
-        if !failed.is_empty() {
-            eprintln!(
-                "warning: {} workload(s) panicked and were dropped from the sweep: {}",
-                failed.len(),
-                failed.join(", ")
-            );
-        }
-        host.add_timing("warmup.shared", wstats.warmup_wall);
-        host.add("warmup_runs", wstats.warmups_run);
-        host.add("warmup_saved_runs", wstats.warmups_saved);
-        if wstats.warmups_run > 0 {
-            let saved_est =
-                wstats.warmup_wall / wstats.warmups_run as f64 * wstats.warmups_saved as f64;
-            host.set_gauge("warmup_secs_saved_est", saved_est);
-            println!(
-                "shared warmup: {} warmup run(s) instead of {} (saved {} re-warm(s), ~{:.2}s)",
-                wstats.warmups_run,
-                wstats.warmups_run + wstats.warmups_saved,
-                wstats.warmups_saved,
-                saved_est
-            );
-        }
-        for (mi, mode) in modes.iter().enumerate() {
-            host.add_timing(
-                &format!("mode.{}", mode.name()),
-                rows[mi].iter().map(|(_, _, wall, _, _)| wall).sum(),
-            );
-        }
-        mode_rows = rows;
-    } else {
-        for mode in &modes {
-            let mode_start = Instant::now();
-            let (rows, failed, cache_hits) = run_mode(
-                &workloads,
-                *mode,
-                &cfg,
-                args.ring_capacity,
-                checkpoint_dir.as_deref(),
-            );
-            host.add_timing(
-                &format!("mode.{}", mode.name()),
-                mode_start.elapsed().as_secs_f64(),
-            );
-            host.add("checkpoint_hits", cache_hits);
-            if !failed.is_empty() {
-                eprintln!(
-                    "warning: {} workload(s) panicked under {} and were dropped: {}",
-                    failed.len(),
-                    mode.name(),
-                    failed.join(", ")
-                );
-            }
-            mode_rows.push(rows);
-        }
-        if let Some(dir) = &checkpoint_dir {
-            let hits = host.counter("checkpoint_hits");
-            if hits > 0 {
-                println!(
-                    "checkpoint cache: {hits} of {} runs served from {}",
-                    modes.len() * workloads.len(),
-                    dir.display()
-                );
-            }
-        }
-    }
-
-    // Build sections, pairing each run with its baseline *by name*: a
-    // workload that survived only some modes must not shift the
-    // positional alignment of everything after it.
-    let mut sections: Vec<ModeSection> = Vec::new();
-    let mut baseline_named: Vec<(String, SimReport)> = Vec::new();
-    let (mut total_insts, mut total_events, mut total_dropped) = (0u64, 0u64, 0u64);
-    for (mi, mode) in modes.iter().enumerate() {
-        let mut entries = Vec::new();
-        for (name, report, wall, recorded, dropped) in mode_rows[mi].drain(..) {
-            total_insts += report.total_insts();
-            total_events += recorded;
-            total_dropped += dropped;
-            host.add("workloads_run", 1);
-            entries.push((name, report, wall));
-        }
-        if *mode == baseline_mode {
-            baseline_named = entries
-                .iter()
-                .map(|(n, r, _)| (n.clone(), r.clone()))
-                .collect();
-        }
-        let mut aligned_base = Vec::new();
-        entries.retain(
-            |(name, _, _)| match baseline_named.iter().find(|(bn, _)| bn == name) {
-                Some((_, base)) => {
-                    aligned_base.push(base.clone());
-                    true
-                }
-                None => {
-                    eprintln!(
-                        "warning: dropping {name} under {}: no {} baseline to compare against",
-                        mode.name(),
-                        baseline_mode.name()
-                    );
-                    false
-                }
-            },
+    if args.shared_warmup && outcome.warmup.warmups_run > 0 {
+        println!(
+            "shared warmup: {} warmup run(s) instead of {} (saved {} re-warm(s), ~{:.2}s)",
+            outcome.warmup.warmups_run,
+            outcome.warmup.warmups_run + outcome.warmup.warmups_saved,
+            outcome.warmup.warmups_saved,
+            outcome.warmup.saved_secs_est()
         );
-        sections.push(ModeSection::build(*mode, entries, &aligned_base));
     }
-    let suite_wall = suite_start.elapsed().as_secs_f64();
-    host.add_timing("suite", suite_wall);
-    host.add("events_recorded", total_events);
-    host.add("events_dropped", total_dropped);
-    host.set_gauge("ring_capacity", args.ring_capacity as f64);
-    if suite_wall > 0.0 {
-        host.set_gauge("sim_kips", total_insts as f64 / 1000.0 / suite_wall);
-        host.set_gauge("events_per_sec", total_events as f64 / suite_wall);
+    if outcome.cache_hits > 0 {
+        if let Some(dir) = &opts.checkpoint_dir {
+            println!(
+                "checkpoint cache: {} of {} runs served from {}",
+                outcome.cache_hits,
+                outcome.modes.len() * opts.workloads.len(),
+                dir.display()
+            );
+        }
     }
 
     // Human-readable summary before the artifact: slowdown per mode and
     // where the secure modes spend their extra time.
     let mut rows = Vec::new();
-    for s in &sections {
+    for s in &outcome.report.modes {
         let attribution = s
             .attribution
             .iter()
@@ -654,23 +247,21 @@ fn run_suite(args: &Args) -> ExitCode {
             &rows
         )
     );
+    let (events, dropped) = outcome.events;
     println!(
-        "host: {:.1}s wall, {:.0} KIPS, {:.0} events/s ({} dropped at ring capacity {})",
-        suite_wall,
-        host.gauge("sim_kips"),
-        host.gauge("events_per_sec"),
-        total_dropped,
-        args.ring_capacity
+        "host: {:.1}s wall, {:.0} KIPS, {:.0} events/s ({} dropped at ring capacity {}), \
+         {} task(s) stolen across {} worker(s)",
+        outcome.wall_secs,
+        outcome.report.host.gauge("sim_kips"),
+        outcome.report.host.gauge("events_per_sec"),
+        dropped,
+        opts.ring_capacity,
+        outcome.exec.tasks_stolen,
+        outcome.exec.threads
     );
+    let _ = events;
 
-    let report = BenchReport {
-        insts: cfg.insts,
-        seed: cfg.seed,
-        baseline_mode,
-        modes: sections,
-        host,
-    };
-    let json = report.to_json();
+    let json = outcome.report.to_json();
     // Self-check the artifact before writing: a BENCH file that fails its
     // own schema or cycle-accounting invariant must never reach CI.
     let doc = match JsonValue::parse(&json) {
@@ -758,5 +349,5 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
 
-    run_suite(&args)
+    run(&args)
 }

@@ -19,6 +19,7 @@
 use cleanupspec_bench::chaos::{
     detection_matrix, probe_fault, render_matrix, run_chaos_campaign, ChaosOpts,
 };
+use cleanupspec_bench::cli::{parse_u64, CommonCli};
 use cleanupspec_mem::fault::FaultKind;
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -36,6 +37,10 @@ struct Args {
     panic_at: Option<u64>,
 }
 
+fn common_cli() -> CommonCli {
+    CommonCli::new().with_seeds().with_start()
+}
+
 fn usage() -> ExitCode {
     eprintln!(
         "usage: cs-chaos --matrix [--start N] [--max-seeds N]\n\
@@ -44,18 +49,12 @@ fn usage() -> ExitCode {
          \x20               [--shrink] [--panic-at SEED]\n\
          \x20      cs-chaos --replay SEED [--fault NAME]"
     );
+    eprintln!("{}", common_cli().help());
     ExitCode::from(2)
 }
 
-fn parse_u64(s: &str) -> Option<u64> {
-    if let Some(hex) = s.strip_prefix("0x") {
-        u64::from_str_radix(hex, 16).ok()
-    } else {
-        s.parse().ok()
-    }
-}
-
 fn parse_args() -> Result<Args, ExitCode> {
+    let mut common = common_cli();
     let mut args = Args {
         matrix: false,
         list_faults: false,
@@ -71,6 +70,14 @@ fn parse_args() -> Result<Args, ExitCode> {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut it = argv.iter();
     while let Some(a) = it.next() {
+        match common.accept(a, &mut it) {
+            Ok(true) => continue,
+            Ok(false) => {}
+            Err(e) => {
+                eprintln!("cs-chaos: {e}");
+                return Err(usage());
+            }
+        }
         match a.as_str() {
             "--matrix" => args.matrix = true,
             "--list-faults" => args.list_faults = true,
@@ -81,14 +88,6 @@ fn parse_args() -> Result<Args, ExitCode> {
                     eprintln!("unknown fault; try --list-faults");
                     return Err(usage());
                 }
-            },
-            "--seeds" => match it.next().and_then(|v| parse_u64(v)) {
-                Some(n) => args.seeds = n,
-                None => return Err(usage()),
-            },
-            "--start" => match it.next().and_then(|v| parse_u64(v)) {
-                Some(n) => args.start = n,
-                None => return Err(usage()),
             },
             "--max-seeds" => match it.next().and_then(|v| parse_u64(v)) {
                 Some(n) => args.max_seeds = n,
@@ -109,6 +108,8 @@ fn parse_args() -> Result<Args, ExitCode> {
             _ => return Err(usage()),
         }
     }
+    args.seeds = common.seeds_or(32);
+    args.start = common.start_or_default();
     Ok(args)
 }
 

@@ -20,6 +20,7 @@
 //! (or sabotage missed), 2 usage.
 
 use cleanupspec_asm::disassemble;
+use cleanupspec_bench::cli::{parse_u64, CommonCli};
 use cleanupspec_bench::fuzz::{run_campaign, run_plan, run_plan_sabotaged, shrink, SeedVerdict};
 use cleanupspec_workloads::smith::{assemble_plan, plan, SmithPlan};
 use std::process::ExitCode;
@@ -33,57 +34,53 @@ struct Args {
     threads: usize,
 }
 
+fn common_cli() -> CommonCli {
+    CommonCli::new().with_seeds().with_start().with_threads()
+}
+
 fn usage() -> ExitCode {
     eprintln!(
         "usage: cs-smith [--seeds N] [--start N] [--replay SEED] \
          [--shrink] [--sabotage] [--threads N]"
     );
+    eprintln!("{}", common_cli().help());
     ExitCode::from(2)
 }
 
-fn parse_u64(s: &str) -> Option<u64> {
-    if let Some(hex) = s.strip_prefix("0x") {
-        u64::from_str_radix(hex, 16).ok()
-    } else {
-        s.parse().ok()
-    }
-}
-
 fn parse_args() -> Result<Args, ExitCode> {
-    let mut args = Args {
-        seeds: 500,
-        start: 0,
-        replay: None,
-        shrink: false,
-        sabotage: false,
-        threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
-    };
+    let mut common = common_cli();
+    let mut replay = None;
+    let mut do_shrink = false;
+    let mut sabotage = false;
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut it = argv.iter();
     while let Some(a) = it.next() {
+        match common.accept(a, &mut it) {
+            Ok(true) => continue,
+            Ok(false) => {}
+            Err(e) => {
+                eprintln!("cs-smith: {e}");
+                return Err(usage());
+            }
+        }
         match a.as_str() {
-            "--seeds" => match it.next().and_then(|v| parse_u64(v)) {
-                Some(n) => args.seeds = n,
-                None => return Err(usage()),
-            },
-            "--start" => match it.next().and_then(|v| parse_u64(v)) {
-                Some(n) => args.start = n,
-                None => return Err(usage()),
-            },
             "--replay" => match it.next().and_then(|v| parse_u64(v)) {
-                Some(n) => args.replay = Some(n),
+                Some(n) => replay = Some(n),
                 None => return Err(usage()),
             },
-            "--threads" => match it.next().and_then(|v| parse_u64(v)) {
-                Some(n) => args.threads = n as usize,
-                None => return Err(usage()),
-            },
-            "--shrink" => args.shrink = true,
-            "--sabotage" => args.sabotage = true,
+            "--shrink" => do_shrink = true,
+            "--sabotage" => sabotage = true,
             _ => return Err(usage()),
         }
     }
-    Ok(args)
+    Ok(Args {
+        seeds: common.seeds_or(500),
+        start: common.start_or_default(),
+        replay,
+        shrink: do_shrink,
+        sabotage,
+        threads: common.threads_or_default(),
+    })
 }
 
 /// Writes the plan's programs as replayable `.s` files in the working

@@ -16,6 +16,7 @@
 use cleanupspec::modes::SecurityMode;
 use cleanupspec::sim::SimBuilder;
 use cleanupspec_asm::assemble;
+use cleanupspec_bench::cli::{CommonCli, DEFAULT_RING_CAPACITY, DEFAULT_SEED};
 use cleanupspec_core::isa::Program;
 use cleanupspec_core::system::RunLimits;
 use cleanupspec_obs::{
@@ -45,12 +46,20 @@ fn mode_by_name(name: &str) -> Option<SecurityMode> {
     SecurityMode::ALL.into_iter().find(|m| m.name() == name)
 }
 
+fn common_cli() -> CommonCli {
+    CommonCli::new()
+        .with_insts()
+        .with_seed()
+        .with_ring_capacity()
+}
+
 fn usage() -> ExitCode {
     eprintln!(
         "usage: cs-trace [--mode <name>] [--insts N] [--seed N] \
          [--perfetto FILE] [--jsonl FILE] [--filter SUBSTR] [--dump N] \
          [--ring-capacity N] <file.s | workload>"
     );
+    eprintln!("{}", common_cli().help());
     eprintln!(
         "modes: {}",
         SecurityMode::ALL
@@ -66,6 +75,7 @@ fn usage() -> ExitCode {
 }
 
 fn parse_args() -> Result<Args, ExitCode> {
+    let mut common = common_cli();
     let mut args = Args {
         target: String::new(),
         mode: SecurityMode::CleanupSpec,
@@ -74,31 +84,27 @@ fn parse_args() -> Result<Args, ExitCode> {
         jsonl: None,
         filter: None,
         dump: 40,
-        seed: 0xC1EA_2019,
-        ring_capacity: 100_000,
+        seed: DEFAULT_SEED,
+        ring_capacity: DEFAULT_RING_CAPACITY,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut it = argv.iter();
     while let Some(a) = it.next() {
+        match common.accept(a, &mut it) {
+            Ok(true) => continue,
+            Ok(false) => {}
+            Err(e) => {
+                eprintln!("cs-trace: {e}");
+                return Err(usage());
+            }
+        }
         match a.as_str() {
             "--mode" => match it.next().and_then(|m| mode_by_name(m)) {
                 Some(m) => args.mode = m,
                 None => return Err(usage()),
             },
-            "--insts" => match it.next().and_then(|n| n.parse().ok()) {
-                Some(n) => args.insts = n,
-                None => return Err(usage()),
-            },
-            "--seed" => match it.next().and_then(|n| n.parse().ok()) {
-                Some(n) => args.seed = n,
-                None => return Err(usage()),
-            },
             "--dump" => match it.next().and_then(|n| n.parse().ok()) {
                 Some(n) => args.dump = n,
-                None => return Err(usage()),
-            },
-            "--ring-capacity" => match it.next().and_then(|n| n.parse().ok()) {
-                Some(n) => args.ring_capacity = n,
                 None => return Err(usage()),
             },
             "--perfetto" => match it.next() {
@@ -122,6 +128,9 @@ fn parse_args() -> Result<Args, ExitCode> {
     if args.target.is_empty() {
         return Err(usage());
     }
+    args.insts = common.insts.unwrap_or(args.insts);
+    args.seed = common.seed.unwrap_or(args.seed);
+    args.ring_capacity = common.ring_capacity.unwrap_or(args.ring_capacity);
     Ok(args)
 }
 

@@ -6,15 +6,22 @@
 
 use cleanupspec::modes::SecurityMode;
 use cleanupspec_bench::fmt::{geomean, pct, slowdown_pct, table};
-use cleanupspec_bench::runner::{run_all_spec, ExperimentConfig};
+use cleanupspec_bench::runner::ExperimentConfig;
+use cleanupspec_bench::Sweep;
 use cleanupspec_mem::stats::MsgClass;
 
 fn main() {
     let cfg = ExperimentConfig::default();
     println!("== Figure 4: InvisiSpec (initial) vs non-secure ==");
     println!("   {} instructions per workload\n", cfg.insts);
-    let base = run_all_spec(SecurityMode::NonSecure, &cfg);
-    let invi = run_all_spec(SecurityMode::InvisiSpecInitial, &cfg);
+    let sweep = Sweep::new()
+        .modes(&[SecurityMode::NonSecure, SecurityMode::InvisiSpecInitial])
+        .config(&cfg)
+        .run();
+    sweep.warn_if_incomplete();
+    let mut groups = sweep.modes.into_iter();
+    let base = groups.next().expect("baseline mode").into_pairs();
+    let invi = groups.next().expect("invisispec mode").into_pairs();
     let mut rows = Vec::new();
     let mut slow = Vec::new();
     let mut traf = Vec::new();

@@ -6,9 +6,9 @@
 
 use cleanupspec::modes::SecurityMode;
 use cleanupspec::sim::SimBuilder;
+use cleanupspec_bench::exec::{run_indexed, ExecConfig};
 use cleanupspec_bench::fmt::{pct, table};
 use cleanupspec_workloads::sharing::SHARING_WORKLOADS;
-use std::thread;
 
 fn main() {
     let insts: u64 = std::env::var("CLEANUPSPEC_INSTS")
@@ -17,34 +17,25 @@ fn main() {
         .unwrap_or(120_000);
     let cores = 4;
     println!("== Figure 9: load breakup by line state (4-core, {insts} inst/core) ==\n");
-    let results: Vec<(&str, f64, f64, f64)> = thread::scope(|s| {
-        let handles: Vec<_> = SHARING_WORKLOADS
-            .iter()
-            .map(|w| {
-                s.spawn(move || {
-                    let mut b = SimBuilder::new(SecurityMode::NonSecure);
-                    for p in w.build_all(cores, 0xF199) {
-                        b = b.program(p);
-                    }
-                    let mut sim = b.build();
-                    sim.run_with_warmup(insts / 4, insts);
-                    let m = &sim.report().mem;
-                    let total =
-                        (m.class_safe_cache + m.class_remote_em + m.class_dram).max(1) as f64;
-                    (
-                        w.name,
-                        m.class_remote_em as f64 / total,
-                        m.class_dram as f64 / total,
-                        m.class_safe_cache as f64 / total,
-                    )
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("worker"))
-            .collect()
+    let outcome = run_indexed(SHARING_WORKLOADS.len(), &ExecConfig::default(), |i| {
+        let w = &SHARING_WORKLOADS[i];
+        let mut b = SimBuilder::new(SecurityMode::NonSecure);
+        for p in w.build_all(cores, 0xF199) {
+            b = b.program(p);
+        }
+        let mut sim = b.build();
+        sim.run_with_warmup(insts / 4, insts);
+        let m = &sim.report().mem;
+        let total = (m.class_safe_cache + m.class_remote_em + m.class_dram).max(1) as f64;
+        (
+            w.name,
+            m.class_remote_em as f64 / total,
+            m.class_dram as f64 / total,
+            m.class_safe_cache as f64 / total,
+        )
     });
+    assert!(outcome.is_complete(), "worker: {:?}", outcome.failures);
+    let results: Vec<(&str, f64, f64, f64)> = outcome.slots.into_iter().flatten().collect();
     let mut rows = Vec::new();
     let mut sum_unsafe = 0.0;
     for (name, unsafe_frac, dram, safe) in &results {

@@ -4,15 +4,22 @@
 
 use cleanupspec::modes::SecurityMode;
 use cleanupspec_bench::fmt::{bar, geomean, slowdown_pct, table};
-use cleanupspec_bench::runner::{run_all_spec, ExperimentConfig};
+use cleanupspec_bench::runner::ExperimentConfig;
 use cleanupspec_bench::svg::{maybe_write, Bar, BarChart};
+use cleanupspec_bench::Sweep;
 
 fn main() {
     let cfg = ExperimentConfig::default();
     println!("== Figure 12: CleanupSpec slowdown vs non-secure baseline ==");
     println!("   {} instructions per workload\n", cfg.insts);
-    let base = run_all_spec(SecurityMode::NonSecure, &cfg);
-    let cusp = run_all_spec(SecurityMode::CleanupSpec, &cfg);
+    let sweep = Sweep::new()
+        .modes(&[SecurityMode::NonSecure, SecurityMode::CleanupSpec])
+        .config(&cfg)
+        .run();
+    sweep.warn_if_incomplete();
+    let mut groups = sweep.modes.into_iter();
+    let base = groups.next().expect("baseline mode").into_pairs();
+    let cusp = groups.next().expect("cleanupspec mode").into_pairs();
     let mut rows = Vec::new();
     let mut factors = Vec::new();
     for ((w, b), (_, c)) in base.iter().zip(&cusp) {

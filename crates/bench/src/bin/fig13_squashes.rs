@@ -4,13 +4,18 @@
 
 use cleanupspec::modes::SecurityMode;
 use cleanupspec_bench::fmt::{bar, table};
-use cleanupspec_bench::runner::{run_all_spec, ExperimentConfig};
+use cleanupspec_bench::runner::ExperimentConfig;
+use cleanupspec_bench::Sweep;
 
 fn main() {
     let cfg = ExperimentConfig::default();
     println!("== Figure 13: squashes per kilo-instruction ==");
     println!("   {} instructions per workload\n", cfg.insts);
-    let results = run_all_spec(SecurityMode::CleanupSpec, &cfg);
+    let results = Sweep::new()
+        .mode(SecurityMode::CleanupSpec)
+        .config(&cfg)
+        .run()
+        .into_single_mode();
     let mut rows = Vec::new();
     let (mut sum, mut sum_insts) = (0.0, 0.0);
     for (w, r) in &results {

@@ -11,15 +11,22 @@
 use cleanupspec::modes::SecurityMode;
 use cleanupspec_bench::attribution::{diff_stacks, top_overheads};
 use cleanupspec_bench::fmt::table;
-use cleanupspec_bench::runner::{run_all_spec, ExperimentConfig};
+use cleanupspec_bench::runner::ExperimentConfig;
 use cleanupspec_bench::svg::{maybe_write, Bar, BarChart};
+use cleanupspec_bench::Sweep;
 
 fn main() {
     let cfg = ExperimentConfig::default();
     println!("== Figure 14: stall cycles per squash (wait + cleanup) ==");
     println!("   {} instructions per workload\n", cfg.insts);
-    let baseline = run_all_spec(SecurityMode::NonSecure, &cfg);
-    let results = run_all_spec(SecurityMode::CleanupSpec, &cfg);
+    let sweep = Sweep::new()
+        .modes(&[SecurityMode::NonSecure, SecurityMode::CleanupSpec])
+        .config(&cfg)
+        .run();
+    sweep.warn_if_incomplete();
+    let mut groups = sweep.modes.into_iter();
+    let baseline = groups.next().expect("baseline mode").into_pairs();
+    let results = groups.next().expect("cleanupspec mode").into_pairs();
     let mut rows = Vec::new();
     let (mut sw, mut sc) = (0.0, 0.0);
     for (w, r) in &results {

@@ -5,13 +5,18 @@
 
 use cleanupspec::modes::SecurityMode;
 use cleanupspec_bench::fmt::{pct, table};
-use cleanupspec_bench::runner::{run_all_spec, ExperimentConfig};
+use cleanupspec_bench::runner::ExperimentConfig;
+use cleanupspec_bench::Sweep;
 
 fn main() {
     let cfg = ExperimentConfig::default();
     println!("== Figure 15: squashed L1-miss loads, inflight vs executed ==");
     println!("   {} instructions per workload\n", cfg.insts);
-    let results = run_all_spec(SecurityMode::CleanupSpec, &cfg);
+    let results = Sweep::new()
+        .mode(SecurityMode::CleanupSpec)
+        .config(&cfg)
+        .run()
+        .into_single_mode();
     let mut rows = Vec::new();
     let (mut ti, mut te) = (0u64, 0u64);
     for (w, r) in &results {

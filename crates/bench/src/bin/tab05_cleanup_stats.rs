@@ -5,13 +5,18 @@
 
 use cleanupspec::modes::SecurityMode;
 use cleanupspec_bench::fmt::{pct, table};
-use cleanupspec_bench::runner::{run_all_spec, ExperimentConfig};
+use cleanupspec_bench::runner::ExperimentConfig;
+use cleanupspec_bench::Sweep;
 
 fn main() {
     let cfg = ExperimentConfig::default();
     println!("== Table 5: cleanup statistics ==");
     println!("   {} instructions per workload\n", cfg.insts);
-    let results = run_all_spec(SecurityMode::CleanupSpec, &cfg);
+    let results = Sweep::new()
+        .mode(SecurityMode::CleanupSpec)
+        .config(&cfg)
+        .run()
+        .into_single_mode();
     let mut rows = Vec::new();
     for (w, r) in &results {
         let s = &r.cores[0];

@@ -6,26 +6,31 @@
 
 use cleanupspec::modes::SecurityMode;
 use cleanupspec_bench::fmt::{geomean, slowdown_pct, table};
-use cleanupspec_bench::runner::{run_all_spec, ExperimentConfig};
+use cleanupspec_bench::runner::ExperimentConfig;
+use cleanupspec_bench::Sweep;
 
 fn main() {
     let cfg = ExperimentConfig::default();
     println!("== Table 6: CleanupSpec vs InvisiSpec ==");
     println!("   {} instructions per workload\n", cfg.insts);
-    let base = run_all_spec(SecurityMode::NonSecure, &cfg);
     let entries = [
         (SecurityMode::InvisiSpecInitial, "67.5%"),
         (SecurityMode::InvisiSpecRevised, "15%"),
         (SecurityMode::CleanupSpec, "5.1%"),
         (SecurityMode::DelaySpeculativeLoads, "(n/a; NDA-like >20%)"),
     ];
+    let mut modes = vec![SecurityMode::NonSecure];
+    modes.extend(entries.iter().map(|(m, _)| *m));
+    let sweep = Sweep::new().modes(&modes).config(&cfg).run();
+    sweep.warn_if_incomplete();
+    let base = &sweep.mode(SecurityMode::NonSecure).expect("baseline").runs;
     let mut rows = Vec::new();
     for (mode, paper) in entries {
-        let rs = run_all_spec(mode, &cfg);
+        let rs = &sweep.mode(mode).expect("swept mode").runs;
         let factors: Vec<f64> = base
             .iter()
-            .zip(&rs)
-            .map(|((_, b), (_, r))| r.slowdown_vs(b))
+            .zip(rs.iter())
+            .map(|(b, r)| r.report.slowdown_vs(&b.report))
             .collect();
         rows.push(vec![
             mode.name().to_string(),

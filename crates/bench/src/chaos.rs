@@ -246,20 +246,22 @@ pub fn scan_fault(kind: FaultKind, start: u64, max_seeds: u64) -> MatrixRow {
     }
 }
 
-/// Builds the full fault-detection matrix: every [`FaultKind`], scanned in
-/// parallel (one thread per fault — results are per-fault deterministic,
-/// so threading cannot change a verdict).
+/// Builds the full fault-detection matrix: every [`FaultKind`], scanned
+/// on the shared work-stealing pool (results are per-fault
+/// deterministic, so threading cannot change a verdict; rows come back
+/// in `FaultKind::ALL` order regardless of scheduling).
 pub fn detection_matrix(start: u64, max_seeds: u64) -> Vec<MatrixRow> {
-    std::thread::scope(|s| {
-        let handles: Vec<_> = FaultKind::ALL
-            .iter()
-            .map(|&k| s.spawn(move || scan_fault(k, start, max_seeds)))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("matrix worker panicked"))
-            .collect()
-    })
+    let outcome = crate::exec::run_indexed(
+        FaultKind::ALL.len(),
+        &crate::exec::ExecConfig::default(),
+        |i| scan_fault(FaultKind::ALL[i], start, max_seeds),
+    );
+    assert!(
+        outcome.is_complete(),
+        "matrix worker panicked: {:?}",
+        outcome.failures
+    );
+    outcome.slots.into_iter().flatten().collect()
 }
 
 /// Detector labels, in matrix-column order.

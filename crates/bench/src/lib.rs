@@ -12,19 +12,32 @@
 pub mod attribution;
 pub mod bench_report;
 pub mod chaos;
+pub mod cli;
+pub mod exec;
 pub mod fmt;
 pub mod fuzz;
 pub mod microbench;
 pub mod runner;
+pub mod suite;
 pub mod svg;
 
 pub use attribution::{diff_stacks, top_overheads, StackDelta};
 pub use bench_report::{
-    check_document, compare_documents, BenchEntry, BenchReport, ModeSection, Regression, SCHEMA,
+    canonical_json, check_document, compare_documents, BenchEntry, BenchReport, ModeSection,
+    Regression, SCHEMA,
 };
 pub use chaos::{
     detection_matrix, probe_fault, render_matrix, run_chaos_campaign, ChaosOpts, ChaosSummary,
     FaultProbe, MatrixRow,
 };
+pub use exec::{
+    default_threads, run_indexed, run_static_chunked, ExecConfig, ExecOutcome, ExecStats,
+    ModeSweep, PanicPolicy, Sweep, SweepFailure, SweepResult, SweepRun, TaskFailure,
+};
 pub use fuzz::{run_campaign, run_seed, shrink, CampaignResult, SeedVerdict, Violation};
-pub use runner::{run_all_spec, run_spec_workload, ExperimentConfig};
+// The deprecated shims stay re-exported for one release so downstream
+// `use cleanupspec_bench::run_all_spec` keeps compiling (with a warning).
+pub use runner::ExperimentConfig;
+#[allow(deprecated)]
+pub use runner::{run_all_spec, run_spec_workload};
+pub use suite::{run_suite, SuiteOptions, SuiteOutcome, SMOKE_WORKLOADS};

@@ -1,14 +1,21 @@
-//! Shared experiment runner: executes calibrated workloads under security
-//! modes and collects [`SimReport`]s. Workloads run in parallel threads
-//! (each simulation is independent and deterministic per seed).
+//! Experiment sizing, the cs-snap result-cache helpers, and the
+//! deprecated pre-`Sweep` entry points.
+//!
+//! The seven historical runner functions (`run_spec_workload`,
+//! `run_spec_workload_checkpointed`, `run_all_spec`,
+//! `run_selected_spec`, `run_selected_spec_partial`, `sweep_isolated`,
+//! `run_matrix`) are now thin `#[deprecated]` shims over the
+//! [`crate::exec::Sweep`] builder and the work-stealing pool; see
+//! `docs/EXECUTOR.md` for the migration table. The sizing knobs
+//! ([`ExperimentConfig`], [`warmup_insts`]) and the checkpoint cache
+//! helpers stay here and are not deprecated.
 
+use crate::exec::{self, ExecConfig, PanicPolicy, Sweep};
 use cleanupspec::modes::SecurityMode;
-use cleanupspec::sim::{SimBuilder, SimReport};
+use cleanupspec::sim::SimReport;
 use cleanupspec::snap::{read_checkpoint, write_checkpoint, CheckpointKey};
 use cleanupspec_workloads::spec::{SpecWorkload, SPEC_WORKLOADS};
-use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
-use std::thread;
 
 /// Experiment sizing knobs.
 #[derive(Clone, Copy, Debug)]
@@ -31,9 +38,9 @@ impl Default for ExperimentConfig {
                 .and_then(|v| v.parse().ok())
                 .unwrap_or(300_000),
             seed: 0xC1EA_2019,
-            threads: thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(4),
+            // One shared default across every harness: CLEANUPSPEC_THREADS
+            // env override, else available parallelism, else 4.
+            threads: exec::default_threads(),
         }
     }
 }
@@ -118,75 +125,46 @@ pub fn store_checkpoint(dir: &Path, key: &CheckpointKey, report: &SimReport) {
 }
 
 /// Runs one Table-3 workload under `mode` and returns its report.
+#[deprecated(note = "build a one-cell `Sweep` instead (see docs/EXECUTOR.md)")]
 pub fn run_spec_workload(
     w: &SpecWorkload,
     mode: SecurityMode,
     cfg: &ExperimentConfig,
 ) -> SimReport {
-    run_spec_workload_checkpointed(w, mode, cfg, checkpoint_dir_from_env().as_deref()).0
+    crate::exec::run_spec_once(w, mode, cfg, checkpoint_dir_from_env().as_deref()).0
 }
 
 /// [`run_spec_workload`] with an explicit cache directory. Returns the
 /// report and whether it was served from the cache (no simulation ran).
+#[deprecated(note = "use `Sweep::new().checkpoints(dir)` (see docs/EXECUTOR.md)")]
 pub fn run_spec_workload_checkpointed(
     w: &SpecWorkload,
     mode: SecurityMode,
     cfg: &ExperimentConfig,
     checkpoint_dir: Option<&Path>,
 ) -> (SimReport, bool) {
-    let key = checkpoint_key(w, mode, cfg);
-    if let Some(dir) = checkpoint_dir {
-        if let Some(report) = load_checkpoint(dir, &key) {
-            return (report, true);
-        }
-    }
-    // Mix the FULL workload name into the seed: hashing only the first
-    // byte made e.g. "gcc" and "gap" share a program-generation stream.
-    let program = w.build(cfg.seed ^ cleanupspec_mem::rng::mix_str(w.name));
-    let mut sim = SimBuilder::new(mode)
-        .program(program)
-        // Mix the name into the *sim* seed too: otherwise all 19 workloads
-        // share one L1 random-replacement stream and one CEASER key.
-        .seed(cfg.seed ^ cleanupspec_mem::rng::mix_str(w.name))
-        .build();
-    // Warm caches/predictor, reset statistics, then measure.
-    sim.run_with_warmup(warmup_insts(cfg.insts), cfg.insts);
-    let report = sim.report();
-    // A truncated run (cycle-limit exhaustion, livelock) must not pose as
-    // a measurement: its IPC and traffic numbers describe a different
-    // experiment than the table claims.
-    if let Some(stop) = report.stop.as_ref().filter(|s| !s.is_success()) {
-        eprintln!(
-            "warning: workload {} under {} stopped early ({stop}); report is truncated",
-            w.name,
-            mode.name()
-        );
-    }
-    if let Some(dir) = checkpoint_dir {
-        store_checkpoint(dir, &key, &report);
-    }
-    (report, false)
+    crate::exec::run_spec_once(w, mode, cfg, checkpoint_dir)
 }
 
 /// Runs all 19 workloads under `mode`, in parallel. Results are returned
 /// in Table-3 order.
+#[deprecated(note = "use `Sweep::new().mode(mode).config(cfg)` (see docs/EXECUTOR.md)")]
 pub fn run_all_spec(mode: SecurityMode, cfg: &ExperimentConfig) -> Vec<(SpecWorkload, SimReport)> {
-    run_selected_spec(&SPEC_WORKLOADS, mode, cfg)
+    selected_spec_sweep(&SPEC_WORKLOADS, mode, cfg).0
 }
 
 /// Runs a subset of workloads under `mode`, in parallel, preserving order.
 ///
-/// A panic inside one workload's simulation no longer sinks the whole
-/// sweep: each workload runs under [`catch_unwind`], panicked workloads
-/// are reported by name on stderr, and the surviving reports are
-/// returned (still in input order). Callers that need the sweep to be
-/// complete should compare lengths or pair results by workload name.
+/// A panic inside one workload's simulation does not sink the whole
+/// sweep: panicked workloads are reported by name on stderr and the
+/// surviving reports are returned (still in input order).
+#[deprecated(note = "use `Sweep::new().workloads(..).mode(mode)` (see docs/EXECUTOR.md)")]
 pub fn run_selected_spec(
     workloads: &[SpecWorkload],
     mode: SecurityMode,
     cfg: &ExperimentConfig,
 ) -> Vec<(SpecWorkload, SimReport)> {
-    let (ok, failed) = run_selected_spec_partial(workloads, mode, cfg);
+    let (ok, failed) = selected_spec_sweep(workloads, mode, cfg);
     if !failed.is_empty() {
         eprintln!(
             "warning: {} workload(s) panicked under {} and were dropped from the sweep: {}",
@@ -200,17 +178,34 @@ pub fn run_selected_spec(
 
 /// [`run_selected_spec`] returning the surviving `(workload, report)`
 /// pairs plus the names of workloads whose simulation panicked.
+#[deprecated(note = "use `Sweep` and `SweepResult::failed_names` (see docs/EXECUTOR.md)")]
 pub fn run_selected_spec_partial(
     workloads: &[SpecWorkload],
     mode: SecurityMode,
     cfg: &ExperimentConfig,
 ) -> (Vec<(SpecWorkload, SimReport)>, Vec<String>) {
-    sweep_isolated(workloads, cfg.threads, |w| run_spec_workload(w, mode, cfg))
+    selected_spec_sweep(workloads, mode, cfg)
+}
+
+/// Shared non-deprecated core of the single-mode shims.
+fn selected_spec_sweep(
+    workloads: &[SpecWorkload],
+    mode: SecurityMode,
+    cfg: &ExperimentConfig,
+) -> (Vec<(SpecWorkload, SimReport)>, Vec<String>) {
+    let result = Sweep::new()
+        .workloads(workloads)
+        .mode(mode)
+        .config(cfg)
+        .run();
+    let failed = result.failed_names();
+    (result.into_single_mode(), failed)
 }
 
 /// Parallel per-workload sweep with crash isolation: `run` executes
-/// under [`catch_unwind`] so one panicking workload costs only its own
+/// under `catch_unwind` so one panicking workload costs only its own
 /// slot, not the whole sweep. Order of survivors matches input order.
+#[deprecated(note = "use `exec::run_indexed` (see docs/EXECUTOR.md)")]
 pub fn sweep_isolated<F>(
     workloads: &[SpecWorkload],
     threads: usize,
@@ -219,43 +214,20 @@ pub fn sweep_isolated<F>(
 where
     F: Fn(&SpecWorkload) -> SimReport + Sync,
 {
-    let chunk = workloads.len().div_ceil(threads.max(1));
-    let mut out: Vec<Option<Option<(SpecWorkload, SimReport)>>> = vec![None; workloads.len()];
-    let run = &run;
-    thread::scope(|s| {
-        let mut handles = Vec::new();
-        for (ci, ws) in workloads.chunks(chunk).enumerate() {
-            handles.push((
-                ci * chunk,
-                s.spawn(move || {
-                    ws.iter()
-                        .map(|w| {
-                            // The simulator is freshly built per workload, so
-                            // a panic cannot leave shared state torn.
-                            catch_unwind(AssertUnwindSafe(|| (*w, run(w)))).ok()
-                        })
-                        .collect::<Vec<_>>()
-                }),
-            ));
-        }
-        for (base, h) in handles {
-            // Per-workload panics were caught inside the worker; a join
-            // error here would mean the chunking loop itself panicked.
-            for (i, r) in h
-                .join()
-                .expect("worker harness panicked")
-                .into_iter()
-                .enumerate()
-            {
-                out[base + i] = Some(r);
-            }
-        }
-    });
+    let outcome = exec::run_indexed(
+        workloads.len(),
+        &ExecConfig {
+            threads,
+            on_panic: PanicPolicy::KeepGoing,
+            ..ExecConfig::default()
+        },
+        |i| run(&workloads[i]),
+    );
     let mut ok = Vec::new();
     let mut failed = Vec::new();
-    for (slot, w) in out.into_iter().zip(workloads) {
-        match slot.expect("all slots filled") {
-            Some(pair) => ok.push(pair),
+    for (slot, w) in outcome.slots.into_iter().zip(workloads) {
+        match slot {
+            Some(report) => ok.push((*w, report)),
             None => failed.push(w.name.to_string()),
         }
     }
@@ -263,11 +235,19 @@ where
 }
 
 /// Runs every workload under several modes; returns `results[mode][wl]`.
+#[deprecated(note = "use `Sweep::new().modes(modes).config(cfg)` (see docs/EXECUTOR.md)")]
 pub fn run_matrix(
     modes: &[SecurityMode],
     cfg: &ExperimentConfig,
 ) -> Vec<(SecurityMode, Vec<(SpecWorkload, SimReport)>)> {
-    modes.iter().map(|m| (*m, run_all_spec(*m, cfg))).collect()
+    Sweep::new()
+        .modes(modes)
+        .config(cfg)
+        .run()
+        .modes
+        .into_iter()
+        .map(|g| (g.mode, g.into_pairs()))
+        .collect()
 }
 
 #[cfg(test)]
@@ -282,22 +262,38 @@ mod tests {
             threads: 4,
         };
         let w = cleanupspec_workloads::spec::spec_workload("gcc").unwrap();
-        let r = run_spec_workload(&w, SecurityMode::NonSecure, &cfg);
+        let r = crate::exec::run_spec_once(&w, SecurityMode::NonSecure, &cfg, None).0;
         assert!(r.cores[0].committed_insts >= 5_000);
         assert!(r.cycles > 0);
     }
 
+    // Shim-pinning test: the deprecated surface must keep working (and
+    // keep its ordering contract) for one release.
     #[test]
-    fn parallel_sweep_preserves_order() {
+    #[allow(deprecated)]
+    fn deprecated_shims_preserve_the_historical_contracts() {
         let cfg = ExperimentConfig {
             insts: 2_000,
             seed: 1,
             threads: 3,
         };
-        let rs = run_selected_spec(&SPEC_WORKLOADS[..5], SecurityMode::NonSecure, &cfg);
+        let rs = run_selected_spec(&SPEC_WORKLOADS[..4], SecurityMode::NonSecure, &cfg);
         for (i, (w, _)) in rs.iter().enumerate() {
             assert_eq!(w.name, SPEC_WORKLOADS[i].name);
         }
+        let matrix = run_matrix(
+            &[SecurityMode::NonSecure],
+            &ExperimentConfig {
+                insts: 2_000,
+                ..cfg
+            },
+        );
+        assert_eq!(matrix.len(), 1);
+        assert_eq!(matrix[0].1.len(), SPEC_WORKLOADS.len());
+        let w = cleanupspec_workloads::spec::spec_workload("gcc").unwrap();
+        let direct = run_spec_workload(&w, SecurityMode::NonSecure, &cfg);
+        let via_sweep = crate::exec::run_spec_once(&w, SecurityMode::NonSecure, &cfg, None).0;
+        assert_eq!(direct.cycles, via_sweep.cycles);
     }
 
     #[test]
@@ -315,6 +311,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn panicking_workload_does_not_sink_the_sweep() {
         let cfg = ExperimentConfig {
             insts: 2_000,
@@ -325,7 +322,7 @@ mod tests {
             if w.name == SPEC_WORKLOADS[1].name {
                 panic!("injected workload crash");
             }
-            run_spec_workload(w, SecurityMode::NonSecure, &cfg)
+            crate::exec::run_spec_once(w, SecurityMode::NonSecure, &cfg, None).0
         });
         assert_eq!(failed, vec![SPEC_WORKLOADS[1].name.to_string()]);
         let names: Vec<&str> = ok.iter().map(|(w, _)| w.name).collect();
@@ -354,10 +351,10 @@ mod tests {
         };
         let w = cleanupspec_workloads::spec::spec_workload("gcc").unwrap();
         let (fresh, cached) =
-            run_spec_workload_checkpointed(&w, SecurityMode::CleanupSpec, &cfg, Some(&dir));
+            crate::exec::run_spec_once(&w, SecurityMode::CleanupSpec, &cfg, Some(&dir));
         assert!(!cached, "first run must simulate");
         let (replayed, cached) =
-            run_spec_workload_checkpointed(&w, SecurityMode::CleanupSpec, &cfg, Some(&dir));
+            crate::exec::run_spec_once(&w, SecurityMode::CleanupSpec, &cfg, Some(&dir));
         assert!(cached, "second run must come from the cache");
         assert_eq!(
             cleanupspec::snap::report_json(&fresh),
@@ -366,7 +363,7 @@ mod tests {
         // A different seed is a different key: no false sharing.
         let other = ExperimentConfig { seed: 10, ..cfg };
         let (_, cached) =
-            run_spec_workload_checkpointed(&w, SecurityMode::CleanupSpec, &other, Some(&dir));
+            crate::exec::run_spec_once(&w, SecurityMode::CleanupSpec, &other, Some(&dir));
         assert!(!cached);
         let _ = std::fs::remove_dir_all(&dir);
     }
@@ -379,8 +376,8 @@ mod tests {
             threads: 1,
         };
         let w = cleanupspec_workloads::spec::spec_workload("astar").unwrap();
-        let a = run_spec_workload(&w, SecurityMode::CleanupSpec, &cfg);
-        let b = run_spec_workload(&w, SecurityMode::CleanupSpec, &cfg);
+        let a = crate::exec::run_spec_once(&w, SecurityMode::CleanupSpec, &cfg, None).0;
+        let b = crate::exec::run_spec_once(&w, SecurityMode::CleanupSpec, &cfg, None).0;
         assert_eq!(a.cycles, b.cycles);
         assert_eq!(a.traffic.total(), b.traffic.total());
     }
