@@ -48,13 +48,14 @@ fn common_cli() -> CommonCli {
         .with_threads()
         .with_ring_capacity()
         .with_checkpoint_dir()
+        .with_resume()
 }
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: cs-bench [--insts N] [--seed N] [--threads N] [--modes a,b] \
          [--workloads a,b] [--out FILE] [--smoke] [--ring-capacity N] \
-         [--shared-warmup] [--checkpoint-dir DIR]\n\
+         [--shared-warmup] [--checkpoint-dir DIR] [--resume DIR]\n\
          \x20      cs-bench --check FILE\n\
          \x20      cs-bench --compare OLD NEW [--threshold FRAC]"
     );
@@ -191,7 +192,26 @@ fn run(args: &Args) -> ExitCode {
         // disables the cache under --shared-warmup because its warmup
         // protocol differs from the one the cache key describes.
         checkpoint_dir: args.common.checkpoint_dir_or_env(),
+        resume_dir: args.common.resume.clone(),
     };
+    if let Some(dir) = &args.common.resume {
+        if args.shared_warmup {
+            eprintln!("cs-bench: --resume cannot be combined with --shared-warmup");
+            return ExitCode::FAILURE;
+        }
+        // Preflight: refuse to mix results with a journal from a
+        // different campaign before any simulation starts.
+        match cleanupspec_bench::journal::check_resume(dir, &opts.journal_header()) {
+            Ok(done) => eprintln!(
+                "cs-bench: resuming from {} ({done} completed run(s) journaled)",
+                dir.display()
+            ),
+            Err(e) => {
+                eprintln!("cs-bench: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     println!(
         "== cs-bench: {} workloads x {} modes, {} insts each ==",
         opts.workloads.len(),
@@ -218,6 +238,15 @@ fn run(args: &Args) -> ExitCode {
                 dir.display()
             );
         }
+    }
+    if outcome.resumed > 0 {
+        // stderr, like the resume preflight: stdout stays byte-comparable
+        // with an uninterrupted run.
+        eprintln!(
+            "cs-bench: {} of {} runs replayed from the campaign journal",
+            outcome.resumed,
+            outcome.modes.len() * opts.workloads.len()
+        );
     }
 
     // Human-readable summary before the artifact: slowdown per mode and
@@ -275,8 +304,33 @@ fn run(args: &Args) -> ExitCode {
         eprintln!("cs-bench: internal error: emitted document fails check: {e}");
         return ExitCode::FAILURE;
     }
-    if let Err(e) = std::fs::write(&args.out, &json) {
+    // Write through the hardened artifact store: unique tmp + fsync +
+    // rename plus a checksum sidecar, so a crash mid-write can never
+    // leave a torn BENCH document for CI to choke on.
+    let out_path = std::path::Path::new(&args.out);
+    let out_dir = match out_path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p,
+        _ => std::path::Path::new("."),
+    };
+    let out_name = out_path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| args.out.clone());
+    let store = cleanupspec_bench::store::shared_dir_store(out_dir);
+    use cleanupspec_bench::store::ArtifactStore as _;
+    if let Err(e) = store.put(&out_name, json.as_bytes()) {
         eprintln!("cs-bench: cannot write {}: {e}", args.out);
+        return ExitCode::FAILURE;
+    }
+    if !store.persistent() {
+        // The store degraded to memory: the suite finished and the
+        // summary above is valid, but the artifact is not on disk —
+        // that is a failure for a file-emitting run.
+        eprintln!(
+            "cs-bench: cannot write {}: output directory is unwritable \
+             (results shown above are complete)",
+            args.out
+        );
         return ExitCode::FAILURE;
     }
     println!("wrote {} ({} bytes, schema {SCHEMA})", args.out, json.len());

@@ -3,6 +3,7 @@
 //! ```sh
 //! cs-chaos --matrix                         # fault-detection matrix, all 8 classes
 //! cs-chaos --matrix --max-seeds 128         # widen the per-fault seed scan
+//! cs-chaos --host-matrix                    # host-I/O fault recovery matrix
 //! cs-chaos --list-faults                    # print the fault taxonomy
 //! cs-chaos --fault drop-sefe-entry --seeds 32 --artifacts out/  # one-fault campaign
 //! cs-chaos --seeds 64 --panic-at 7 --artifacts out/  # crash-isolation self-test
@@ -11,21 +12,28 @@
 //!
 //! The matrix drives every [`FaultKind`] until it fires and is flagged by
 //! at least one detector (the three cs-smith oracles, the forward-progress
-//! watchdog, or the dual-run victim witness). Exit status: 0 when the
-//! mode's expectation holds (matrix: all faults detected; fault campaign:
-//! at least one seed flagged; clean campaign: no violations and — with
-//! `--panic-at` — the planted panic isolated), 1 otherwise, 2 usage.
+//! watchdog, or the dual-run victim witness). `--host-matrix` turns the
+//! same discipline on the harness itself: every host-I/O fault class
+//! (ENOSPC, torn write, bit rot, read EIO, rename/fsync failure, crash
+//! after write) is injected under the hardened artifact store and must be
+//! retried, quarantined, degraded, or recovered on restart. Exit status:
+//! 0 when the mode's expectation holds (matrix: all faults detected;
+//! host matrix: all fault classes handled; fault campaign: at least one
+//! seed flagged; clean campaign: no violations and — with `--panic-at` —
+//! the planted panic isolated), 1 otherwise, 2 usage.
 
 use cleanupspec_bench::chaos::{
     detection_matrix, probe_fault, render_matrix, run_chaos_campaign, ChaosOpts,
 };
 use cleanupspec_bench::cli::{parse_u64, CommonCli};
+use cleanupspec_bench::{host_fault_matrix, render_host_matrix};
 use cleanupspec_mem::fault::FaultKind;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 struct Args {
     matrix: bool,
+    host_matrix: bool,
     list_faults: bool,
     fault: Option<FaultKind>,
     seeds: u64,
@@ -35,18 +43,25 @@ struct Args {
     artifacts: Option<PathBuf>,
     shrink: bool,
     panic_at: Option<u64>,
+    seed: u64,
+    resume: Option<PathBuf>,
 }
 
 fn common_cli() -> CommonCli {
-    CommonCli::new().with_seeds().with_start()
+    CommonCli::new()
+        .with_seeds()
+        .with_start()
+        .with_seed()
+        .with_resume()
 }
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: cs-chaos --matrix [--start N] [--max-seeds N]\n\
+         \x20      cs-chaos --host-matrix [--seed N]\n\
          \x20      cs-chaos --list-faults\n\
          \x20      cs-chaos [--fault NAME] [--seeds N] [--start N] [--artifacts DIR]\n\
-         \x20               [--shrink] [--panic-at SEED]\n\
+         \x20               [--shrink] [--panic-at SEED] [--resume DIR]\n\
          \x20      cs-chaos --replay SEED [--fault NAME]"
     );
     eprintln!("{}", common_cli().help());
@@ -57,6 +72,7 @@ fn parse_args() -> Result<Args, ExitCode> {
     let mut common = common_cli();
     let mut args = Args {
         matrix: false,
+        host_matrix: false,
         list_faults: false,
         fault: None,
         seeds: 32,
@@ -66,6 +82,8 @@ fn parse_args() -> Result<Args, ExitCode> {
         artifacts: None,
         shrink: false,
         panic_at: None,
+        seed: 0,
+        resume: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut it = argv.iter();
@@ -80,6 +98,7 @@ fn parse_args() -> Result<Args, ExitCode> {
         }
         match a.as_str() {
             "--matrix" => args.matrix = true,
+            "--host-matrix" => args.host_matrix = true,
             "--list-faults" => args.list_faults = true,
             "--shrink" => args.shrink = true,
             "--fault" => match it.next().and_then(|v| FaultKind::parse(v)) {
@@ -110,6 +129,8 @@ fn parse_args() -> Result<Args, ExitCode> {
     }
     args.seeds = common.seeds_or(32);
     args.start = common.start_or_default();
+    args.seed = common.seed_or_default();
+    args.resume = common.resume;
     Ok(args)
 }
 
@@ -178,6 +199,29 @@ fn replay(seed: u64, fault: Option<FaultKind>) -> ExitCode {
     }
 }
 
+/// Runs the host-I/O fault recovery matrix: every [`HostFaultKind`]
+/// injected under the hardened store, each row proving retry /
+/// quarantine / degradation / restart recovery with no journal
+/// corruption or lost completed-task results.
+///
+/// [`HostFaultKind`]: cleanupspec_bench::HostFaultKind
+fn host_matrix(seed: u64) -> ExitCode {
+    let rows = host_fault_matrix(seed);
+    print!("{}", render_host_matrix(&rows));
+    if rows.iter().all(|r| r.handled) {
+        println!("every host-I/O fault class is retried, quarantined, degraded, or recovered");
+        ExitCode::SUCCESS
+    } else {
+        for r in rows.iter().filter(|r| !r.handled) {
+            eprintln!(
+                "UNHANDLED: {} — this host fault class can corrupt or lose campaign state",
+                r.kind.name()
+            );
+        }
+        ExitCode::FAILURE
+    }
+}
+
 fn campaign(args: &Args) -> ExitCode {
     let opts = ChaosOpts {
         start: args.start,
@@ -186,8 +230,31 @@ fn campaign(args: &Args) -> ExitCode {
         artifact_dir: args.artifacts.clone(),
         shrink: args.shrink,
         panic_at: args.panic_at,
+        resume_dir: args.resume.clone(),
     };
+    // Resume preflight: surface a journal/campaign mismatch as a clear
+    // error before any seed runs, not as a mid-run warning.
+    if let Some(dir) = &args.resume {
+        match cleanupspec_bench::journal::check_resume(dir, &opts.journal_header()) {
+            Ok(done) => eprintln!(
+                "cs-chaos: resuming from {} ({done} completed seed(s) journaled)",
+                dir.display()
+            ),
+            Err(e) => {
+                eprintln!("cs-chaos: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     let sum = run_chaos_campaign(&opts);
+    // Resume accounting goes to stderr: stdout must stay byte-identical
+    // to an uninterrupted campaign.
+    if sum.resumed > 0 {
+        eprintln!(
+            "cs-chaos: {} of {} seed(s) replayed from the campaign journal",
+            sum.resumed, sum.seeds
+        );
+    }
     println!(
         "cs-chaos: {} seed(s), {} pass, {} fail, {} panic(s){}",
         sum.seeds,
@@ -248,6 +315,9 @@ fn main() -> ExitCode {
     }
     if args.matrix {
         return matrix(&args);
+    }
+    if args.host_matrix {
+        return host_matrix(args.seed);
     }
     if let Some(seed) = args.replay {
         return replay(seed, args.fault);

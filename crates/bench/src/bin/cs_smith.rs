@@ -21,9 +21,16 @@
 
 use cleanupspec_asm::disassemble;
 use cleanupspec_bench::cli::{parse_u64, CommonCli};
-use cleanupspec_bench::fuzz::{run_campaign, run_plan, run_plan_sabotaged, shrink, SeedVerdict};
+use cleanupspec_bench::fuzz::{
+    campaign_journal_header, run_campaign_resumable, run_plan, run_plan_sabotaged, shrink,
+    SeedVerdict,
+};
+use cleanupspec_bench::journal::Journal;
+use cleanupspec_bench::store::{shared_dir_store, ArtifactStore};
 use cleanupspec_workloads::smith::{assemble_plan, plan, SmithPlan};
+use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 struct Args {
     seeds: u64,
@@ -32,16 +39,21 @@ struct Args {
     shrink: bool,
     sabotage: bool,
     threads: usize,
+    resume: Option<PathBuf>,
 }
 
 fn common_cli() -> CommonCli {
-    CommonCli::new().with_seeds().with_start().with_threads()
+    CommonCli::new()
+        .with_seeds()
+        .with_start()
+        .with_threads()
+        .with_resume()
 }
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: cs-smith [--seeds N] [--start N] [--replay SEED] \
-         [--shrink] [--sabotage] [--threads N]"
+         [--shrink] [--sabotage] [--threads N] [--resume DIR]"
     );
     eprintln!("{}", common_cli().help());
     ExitCode::from(2)
@@ -80,6 +92,7 @@ fn parse_args() -> Result<Args, ExitCode> {
         shrink: do_shrink,
         sabotage,
         threads: common.threads_or_default(),
+        resume: common.resume,
     })
 }
 
@@ -190,13 +203,50 @@ fn main() -> ExitCode {
         Ok(a) => a,
         Err(c) => return c,
     };
+    if args.resume.is_some() && (args.replay.is_some() || args.sabotage) {
+        eprintln!("cs-smith: --resume applies to plain seed campaigns only");
+        return usage();
+    }
     if let Some(seed) = args.replay {
         return replay(seed, args.sabotage, args.shrink);
     }
     if args.sabotage {
         return sabotage_campaign(&args);
     }
-    let r = run_campaign(args.start, args.seeds, args.threads);
+    let header = campaign_journal_header(args.start, args.seeds);
+    // Resume preflight: surface a journal/campaign mismatch as a clear
+    // error before any fuzzing starts, not as a mid-run warning.
+    if let Some(dir) = &args.resume {
+        match cleanupspec_bench::journal::check_resume(dir, &header) {
+            Ok(done) => eprintln!(
+                "cs-smith: resuming from {} ({done} completed seed(s) journaled)",
+                dir.display()
+            ),
+            Err(e) => {
+                eprintln!("cs-smith: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let journal = args.resume.as_deref().and_then(|dir| {
+        let store = shared_dir_store(dir) as Arc<dyn ArtifactStore>;
+        match Journal::open(store, &header) {
+            Ok(j) => Some(j),
+            Err(e) => {
+                eprintln!("cs-smith: running without a journal: {e}");
+                None
+            }
+        }
+    });
+    let r = run_campaign_resumable(args.start, args.seeds, args.threads, journal.as_ref());
+    // Resume accounting goes to stderr: stdout must stay byte-identical
+    // to an uninterrupted campaign.
+    if r.resumed > 0 {
+        eprintln!(
+            "cs-smith: {} of {} seed(s) replayed from the campaign journal",
+            r.resumed, r.seeds
+        );
+    }
     println!(
         "cs-smith: {} seed(s) x {} scheme runs, {} squashes, {} violation(s), {} panic(s)",
         r.seeds,

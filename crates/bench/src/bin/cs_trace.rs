@@ -183,20 +183,21 @@ fn main() -> ExitCode {
     if let Some(p) = &perfetto {
         builder = builder.sink(Box::new(p.clone()));
     }
-    let mut jsonl_err = false;
+    // Shared so the dropped-line counter can be read back after the run
+    // and published as a host metric — write failures are not silent.
+    let mut jsonl: Option<Shared<JsonlSink<BufWriter<std::fs::File>>>> = None;
     if let Some(path) = &args.jsonl {
         match std::fs::File::create(path) {
             Ok(f) => {
-                builder = builder.sink(Box::new(JsonlSink::new(BufWriter::new(f))));
+                let sink = Shared::new(JsonlSink::new(BufWriter::new(f)));
+                builder = builder.sink(Box::new(sink.clone()));
+                jsonl = Some(sink);
             }
             Err(e) => {
                 eprintln!("cs-trace: cannot create {path}: {e}");
-                jsonl_err = true;
+                return ExitCode::FAILURE;
             }
         }
-    }
-    if jsonl_err {
-        return ExitCode::FAILURE;
     }
 
     let mut sim = builder.build();
@@ -219,6 +220,8 @@ fn main() -> ExitCode {
     let (events, dropped) = ring.with(|s| (s.total_recorded(), s.dropped()));
     host.add("events_recorded", events);
     host.add("events_dropped", dropped);
+    let sink_io_errors = jsonl.as_ref().map_or(0, |s| s.with(|j| j.io_errors()));
+    host.add("sink_io_errors", sink_io_errors);
     let kips = if wall > 0.0 {
         r.total_insts() as f64 / 1000.0 / wall
     } else {
@@ -266,7 +269,14 @@ fn main() -> ExitCode {
         }
     }
     if let Some(path) = &args.jsonl {
-        println!("jsonl      : {path}");
+        // Re-read after finish_observer: the final flush can fail too.
+        match jsonl.as_ref().map_or(0, |s| s.with(|j| j.io_errors())) {
+            0 => println!("jsonl      : {path}"),
+            n => {
+                eprintln!("cs-trace: {path} is incomplete: {n} line(s) dropped on I/O errors");
+                return ExitCode::FAILURE;
+            }
+        }
     }
 
     if args.dump > 0 {

@@ -29,6 +29,8 @@
 //! driver ends with a triage summary.
 
 use crate::fuzz::{self, exec_env, judge, merged_image, ExecEnv, ModeRun, SeedVerdict, Violation};
+use crate::journal::{Journal, JournalHeader};
+use crate::store::{shared_dir_store, ArtifactStore};
 use cleanupspec::modes::SecurityMode;
 use cleanupspec_asm::disassemble;
 use cleanupspec_core::isa::Program;
@@ -332,6 +334,30 @@ pub struct ChaosOpts {
     /// Plant a deliberate panic at this seed — the isolation self-test:
     /// the campaign must record it and keep going.
     pub panic_at: Option<u64>,
+    /// Campaign directory holding a crash-safe journal: seeds whose
+    /// verdicts are already journaled are replayed instead of re-run, and
+    /// fresh verdicts are journaled as they complete.
+    pub resume_dir: Option<PathBuf>,
+}
+
+impl ChaosOpts {
+    /// The journal identity for this campaign. Only verdict-determining
+    /// knobs participate: the artifact directory and the resume directory
+    /// itself change where results land, never what they are.
+    pub fn journal_header(&self) -> JournalHeader {
+        JournalHeader {
+            campaign: "cs-chaos".to_string(),
+            config: format!(
+                "start={:#x} count={} fault={} shrink={} panic_at={}",
+                self.start,
+                self.count,
+                self.fault.map_or("none", FaultKind::name),
+                self.shrink,
+                self.panic_at
+                    .map_or("none".to_string(), |s| format!("{s:#x}")),
+            ),
+        }
+    }
 }
 
 /// End-of-campaign triage summary.
@@ -345,6 +371,8 @@ pub struct ChaosSummary {
     pub failures: u64,
     /// Seeds whose engine run panicked (caught, recorded, not fatal).
     pub panics: u64,
+    /// Seeds replayed from the campaign journal instead of re-run.
+    pub resumed: u64,
     /// Artifact directories written, one per recorded failure.
     pub artifacts: Vec<PathBuf>,
     /// One human-readable line per failure or panic.
@@ -445,25 +473,37 @@ fn capture_events(p: &SmithPlan, fault: Option<FaultKind>) -> String {
 }
 
 /// Writes one failure's repro artifacts under `dir` and returns the
-/// created subdirectory: `repro.txt` (seed, fault plan, violations, replay
-/// hint), `core<i>.s` (shrunk if requested), and `events.log` (ring-buffer
-/// dump of the failing run; skipped for panicking seeds unless the replay
-/// survives its own `catch_unwind`).
+/// artifact subdirectory: `repro.txt` (seed, fault plan, violations,
+/// replay hint), `core<i>.s` (shrunk if requested), and `events.log`
+/// (ring-buffer dump of the failing run; skipped for panicking seeds
+/// unless the replay survives its own `catch_unwind`).
+///
+/// All writes go through the hardened [`ArtifactStore`] for `dir`
+/// (atomic write + checksum sidecar + retry); an unwritable directory
+/// degrades to in-memory artifacts with a one-line warning instead of
+/// aborting the campaign, in which case the returned path will not
+/// exist on disk.
 pub fn write_artifacts(
     dir: &Path,
     seed: u64,
     fault: Option<FaultKind>,
     violations: &[Violation],
     do_shrink: bool,
-) -> std::io::Result<PathBuf> {
+) -> PathBuf {
+    let store = shared_dir_store(dir);
+    let put = |name: &str, bytes: &[u8]| {
+        if let Err(e) = store.put(name, bytes) {
+            eprintln!("warning: cs-chaos artifact {name} not stored: {e}");
+        }
+    };
     let panicked = violations.iter().any(|v| v.oracle == "panic");
     let tag = if panicked {
         "panic"
     } else {
         fault.map_or("clean", FaultKind::name)
     };
-    let sub = dir.join(format!("seed-{seed:#x}-{tag}"));
-    std::fs::create_dir_all(&sub)?;
+    let rel = format!("seed-{seed:#x}-{tag}");
+    let sub = dir.join(&rel);
     let p = plan(seed);
 
     // Shrink while the failure persists. Panicking seeds are exported
@@ -505,7 +545,7 @@ pub fn write_artifacts(
         .map(|k| format!(" --fault {}", k.name()))
         .unwrap_or_default();
     let _ = writeln!(repro, "replay: cs-chaos --replay {seed:#x}{replay_fault}");
-    std::fs::write(sub.join("repro.txt"), repro)?;
+    put(&format!("{rel}/repro.txt"), repro.as_bytes());
 
     for (i, prog) in assemble_plan(&min).iter().enumerate() {
         let asm = format!(
@@ -516,64 +556,115 @@ pub fn write_artifacts(
             fault.map_or("none", FaultKind::name),
             disassemble(prog)
         );
-        std::fs::write(sub.join(format!("core{i}.s")), asm)?;
+        put(&format!("{rel}/core{i}.s"), asm.as_bytes());
     }
 
     let events = std::panic::catch_unwind(|| capture_events(&min, fault));
-    match events {
-        Ok(dump) => std::fs::write(sub.join("events.log"), dump)?,
-        Err(payload) => std::fs::write(
-            sub.join("events.log"),
-            format!(
-                "; event replay itself panicked: {}\n",
-                fuzz::panic_message(&*payload)
-            ),
-        )?,
-    }
-    Ok(sub)
+    let dump = match events {
+        Ok(dump) => dump,
+        Err(payload) => format!(
+            "; event replay itself panicked: {}\n",
+            fuzz::panic_message(&*payload)
+        ),
+    };
+    put(&format!("{rel}/events.log"), dump.as_bytes());
+    sub
 }
 
 /// Runs a crash-isolated campaign: every seed in `catch_unwind`, panics
-/// recorded as `"panic"`-oracle failures with artifacts, triage at the end.
+/// recorded as `"panic"`-oracle failures with artifacts, triage at the
+/// end. With [`ChaosOpts::resume_dir`] set, journaled verdicts replay
+/// instead of re-running, so a campaign killed mid-flight resumes with
+/// an identical triage summary.
 pub fn run_chaos_campaign(opts: &ChaosOpts) -> ChaosSummary {
+    let journal = opts.resume_dir.as_deref().and_then(|dir| {
+        let store = shared_dir_store(dir) as Arc<dyn ArtifactStore>;
+        match Journal::open(store, &opts.journal_header()) {
+            Ok(j) => Some(j),
+            Err(e) => {
+                eprintln!("warning: cs-chaos running without a journal: {e}");
+                None
+            }
+        }
+    });
     let mut sum = ChaosSummary::default();
     for seed in opts.start..opts.start.saturating_add(opts.count) {
         sum.seeds += 1;
-        let fault = opts.fault;
-        let planted = opts.panic_at == Some(seed);
-        let verdict = std::panic::catch_unwind(move || {
-            if planted {
-                panic!("cs-chaos planted panic (isolation self-test) at seed {seed:#x}");
-            }
-            chaos_plan_verdict(&plan(seed), fault)
-        });
-        let violations = match verdict {
-            Ok(SeedVerdict::Pass { .. }) => {
-                sum.passes += 1;
-                continue;
-            }
-            Ok(SeedVerdict::Fail(vs)) => {
-                sum.failures += 1;
-                vs
-            }
-            Err(payload) => {
-                sum.panics += 1;
-                vec![Violation {
+        let task_id = format!("seed-{seed:#x}");
+        let replayed = journal
+            .as_ref()
+            .and_then(|j| j.completed(&task_id))
+            .and_then(|payload| match fuzz::verdict_from_json(&payload) {
+                Ok(v) => Some(v),
+                Err(e) => {
+                    eprintln!("warning: re-running {task_id}: journaled verdict unusable ({e})");
+                    None
+                }
+            });
+        let resumed = replayed.is_some();
+        let verdict = replayed.unwrap_or_else(|| {
+            let fault = opts.fault;
+            let planted = opts.panic_at == Some(seed);
+            let v = match std::panic::catch_unwind(move || {
+                if planted {
+                    panic!("cs-chaos planted panic (isolation self-test) at seed {seed:#x}");
+                }
+                chaos_plan_verdict(&plan(seed), fault)
+            }) {
+                Ok(v) => v,
+                Err(payload) => SeedVerdict::Fail(vec![Violation {
                     seed,
                     scheme: "(crashed)",
                     oracle: "panic",
                     detail: fuzz::panic_message(&*payload),
-                }]
+                }]),
+            };
+            if let Some(j) = &journal {
+                j.record(&task_id, &fuzz::verdict_to_json(&v));
+            }
+            v
+        });
+        sum.resumed += u64::from(resumed);
+        let violations = match verdict {
+            SeedVerdict::Pass { .. } => {
+                sum.passes += 1;
+                continue;
+            }
+            SeedVerdict::Fail(vs) => {
+                // A `"panic"` oracle only ever comes from the isolation
+                // net, so this split preserves the pre-journal counters.
+                if vs.iter().any(|v| v.oracle == "panic") {
+                    sum.panics += 1;
+                } else {
+                    sum.failures += 1;
+                }
+                vs
             }
         };
         sum.triage
             .push(format!("seed {seed:#x}: {}", violations[0]));
         if let Some(dir) = &opts.artifact_dir {
-            match write_artifacts(dir, seed, fault, &violations, opts.shrink) {
-                Ok(p) => sum.artifacts.push(p),
-                Err(e) => sum
-                    .triage
-                    .push(format!("seed {seed:#x}: artifact write failed: {e}")),
+            if resumed {
+                // The original run already exported artifacts; point at
+                // them without re-running the failing engine.
+                let panicked = violations.iter().any(|v| v.oracle == "panic");
+                let tag = if panicked {
+                    "panic"
+                } else {
+                    opts.fault.map_or("clean", FaultKind::name)
+                };
+                let sub = dir.join(format!("seed-{seed:#x}-{tag}"));
+                if sub.exists() {
+                    sum.artifacts.push(sub);
+                }
+            } else {
+                sum.artifacts.push(write_artifacts(
+                    dir,
+                    seed,
+                    opts.fault,
+                    &violations,
+                    opts.shrink,
+                ));
             }
         }
     }
@@ -606,6 +697,7 @@ mod tests {
             artifact_dir: Some(dir.clone()),
             shrink: false,
             panic_at: Some(1),
+            resume_dir: None,
         };
         let sum = run_chaos_campaign(&opts);
         assert_eq!(sum.seeds, 3, "campaign must survive the planted panic");
@@ -616,6 +708,34 @@ mod tests {
         assert!(repro.contains("planted panic"), "repro: {repro}");
         assert!(sum.artifacts[0].join("core0.s").exists());
         assert!(sum.artifacts[0].join("events.log").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn journaled_campaign_resumes_with_identical_triage() {
+        let dir = std::env::temp_dir().join(format!("cs-chaos-resume-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let opts = ChaosOpts {
+            start: 0,
+            count: 3,
+            fault: None,
+            artifact_dir: None,
+            shrink: false,
+            panic_at: Some(1),
+            resume_dir: Some(dir.clone()),
+        };
+        let first = run_chaos_campaign(&opts);
+        assert_eq!(first.resumed, 0);
+        assert_eq!(first.panics, 1);
+        // Second run over the same journal: every verdict replays, the
+        // planted panic is *not* re-triggered, and triage is identical.
+        let second = run_chaos_campaign(&opts);
+        assert_eq!(second.resumed, 3);
+        assert_eq!(second.seeds, first.seeds);
+        assert_eq!(second.passes, first.passes);
+        assert_eq!(second.failures, first.failures);
+        assert_eq!(second.panics, first.panics);
+        assert_eq!(second.triage, first.triage);
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -48,6 +48,7 @@ enum Flag {
     CheckpointDir,
     Seeds,
     Start,
+    Resume,
 }
 
 impl Flag {
@@ -60,6 +61,7 @@ impl Flag {
             Flag::CheckpointDir => "--checkpoint-dir",
             Flag::Seeds => "--seeds",
             Flag::Start => "--start",
+            Flag::Resume => "--resume",
         }
     }
 
@@ -72,6 +74,7 @@ impl Flag {
             Flag::CheckpointDir => "cs-snap result cache (default: CLEANUPSPEC_CHECKPOINT_DIR)",
             Flag::Seeds => "number of seeds to run",
             Flag::Start => "first seed of the range",
+            Flag::Resume => "campaign dir with a crash-safe journal; completed tasks are skipped",
         }
     }
 }
@@ -97,6 +100,8 @@ pub struct CommonCli {
     pub seeds: Option<u64>,
     /// `--start`, if given.
     pub start: Option<u64>,
+    /// `--resume`, if given.
+    pub resume: Option<PathBuf>,
 }
 
 impl CommonCli {
@@ -145,6 +150,11 @@ impl CommonCli {
         self.enable(Flag::Start)
     }
 
+    /// Enables `--resume`.
+    pub fn with_resume(self) -> Self {
+        self.enable(Flag::Resume)
+    }
+
     /// Tries to consume `flag` (and its value from `it`). `Ok(true)`
     /// means the flag was one of the enabled shared flags and was
     /// consumed; `Ok(false)` means it is not a shared flag (the caller
@@ -172,6 +182,7 @@ impl CommonCli {
             Flag::CheckpointDir => self.checkpoint_dir = Some(PathBuf::from(value)),
             Flag::Seeds => self.seeds = Some(parse_u64(value).ok_or_else(bad)?),
             Flag::Start => self.start = Some(parse_u64(value).ok_or_else(bad)?),
+            Flag::Resume => self.resume = Some(PathBuf::from(value)),
         }
         Ok(true)
     }

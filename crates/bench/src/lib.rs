@@ -16,8 +16,10 @@ pub mod cli;
 pub mod exec;
 pub mod fmt;
 pub mod fuzz;
+pub mod journal;
 pub mod microbench;
 pub mod runner;
+pub mod store;
 pub mod suite;
 pub mod svg;
 
@@ -35,6 +37,13 @@ pub use exec::{
     ModeSweep, PanicPolicy, Sweep, SweepFailure, SweepResult, SweepRun, TaskFailure,
 };
 pub use fuzz::{run_campaign, run_seed, shrink, CampaignResult, SeedVerdict, Violation};
+pub use journal::{
+    check_resume, host_fault_matrix, render_host_matrix, HostMatrixRow, Journal, JournalHeader,
+};
+pub use store::{
+    shared_dir_store, ArtifactStore, DirStore, FaultFs, HostFaultKind, HostFaultPlan, MemStore,
+    StoreError, StoreStats,
+};
 // The deprecated shims stay re-exported for one release so downstream
 // `use cleanupspec_bench::run_all_spec` keeps compiling (with a warning).
 pub use runner::ExperimentConfig;

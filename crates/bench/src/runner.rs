@@ -11,6 +11,7 @@
 //! helpers stay here and are not deprecated.
 
 use crate::exec::{self, ExecConfig, PanicPolicy, Sweep};
+use crate::store::ArtifactStore as _;
 use cleanupspec::modes::SecurityMode;
 use cleanupspec::sim::SimReport;
 use cleanupspec::snap::{read_checkpoint, write_checkpoint, CheckpointKey};
@@ -87,40 +88,49 @@ pub fn checkpoint_key(
     }
 }
 
-/// Looks `key` up in the on-disk cs-snap cache. Corrupt or mismatched
-/// files are ignored (and reported) rather than trusted.
+/// Looks `key` up in the on-disk cs-snap cache, reading through the
+/// hardened [`crate::store::ArtifactStore`]: a checksum-mismatched file
+/// is quarantined, and snap-level corruption (format or key drift) is
+/// ignored (and reported) rather than trusted. Either way the lookup
+/// degrades to a cache miss.
 pub fn load_checkpoint(dir: &Path, key: &CheckpointKey) -> Option<SimReport> {
-    let path = dir.join(key.file_name());
-    let text = std::fs::read_to_string(&path).ok()?;
+    let store = crate::store::shared_dir_store(dir);
+    let name = key.file_name();
+    let bytes = match store.get(&name) {
+        Ok(b) => b,
+        Err(crate::store::StoreError::NotFound(_)) => return None,
+        Err(e) => {
+            eprintln!("warning: ignoring checkpoint: {e}");
+            return None;
+        }
+    };
+    let text = String::from_utf8_lossy(&bytes);
     match read_checkpoint(&text, key) {
         Ok(report) => Some(report),
         Err(e) => {
-            eprintln!("warning: ignoring checkpoint {}: {e}", path.display());
+            eprintln!("warning: ignoring checkpoint {name}: {e}");
+            // The file is well-formed enough to pass its byte checksum
+            // but fails snap-level validation — move it aside so it is
+            // not re-parsed on every lookup.
+            store.quarantine(&name, &e.to_string());
             None
         }
     }
 }
 
-/// Writes `report` into the cache, atomically (write + rename) so a
-/// concurrent reader never sees a half-written file. Unsuccessful runs
-/// are not cacheable and are silently skipped.
+/// Writes `report` into the cache through the hardened artifact store:
+/// unique tmp per writer + fsync + rename (so parallel sweep workers
+/// storing the same key can never clobber each other), a checksum
+/// sidecar, and in-memory degradation instead of a mid-sweep panic when
+/// the directory is unwritable. Unsuccessful runs are not cacheable and
+/// are silently skipped.
 pub fn store_checkpoint(dir: &Path, key: &CheckpointKey, report: &SimReport) {
     let Some(text) = write_checkpoint(key, report) else {
         return;
     };
-    if let Err(e) = std::fs::create_dir_all(dir) {
-        eprintln!(
-            "warning: cannot create checkpoint dir {}: {e}",
-            dir.display()
-        );
-        return;
-    }
-    let path = dir.join(key.file_name());
-    let tmp = dir.join(format!(".{}.tmp-{}", key.file_name(), std::process::id()));
-    let ok = std::fs::write(&tmp, text).and_then(|()| std::fs::rename(&tmp, &path));
-    if let Err(e) = ok {
-        let _ = std::fs::remove_file(&tmp);
-        eprintln!("warning: cannot write checkpoint {}: {e}", path.display());
+    let store = crate::store::shared_dir_store(dir);
+    if let Err(e) = store.put(&key.file_name(), text.as_bytes()) {
+        eprintln!("warning: cannot write checkpoint {}: {e}", key.file_name());
     }
 }
 

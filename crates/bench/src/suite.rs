@@ -9,9 +9,11 @@
 
 use crate::bench_report::{BenchReport, ModeSection};
 use crate::exec::{run_indexed, ExecConfig, ExecStats};
+use crate::journal::{Journal, JournalHeader};
 use crate::runner::{
     checkpoint_key, load_checkpoint, store_checkpoint, warmup_insts, ExperimentConfig,
 };
+use crate::store::{shared_dir_store, ArtifactStore};
 use cleanupspec::modes::SecurityMode;
 use cleanupspec::sim::{SimBuilder, SimReport};
 use cleanupspec_mem::MemConfig;
@@ -36,6 +38,16 @@ pub fn smoke_workloads() -> Vec<SpecWorkload> {
 /// One row of a mode sweep: (workload name, report, wall seconds, events
 /// recorded, events dropped).
 pub type RunRow = (String, SimReport, f64, u64, u64);
+
+/// Where an unshared matrix cell's report came from.
+enum RunSource {
+    /// Simulated in this process.
+    Fresh,
+    /// Served from the cs-snap checkpoint cache.
+    Checkpoint,
+    /// Replayed from the campaign journal (resume).
+    Journal,
+}
 
 /// Prints the standard early-stop warning for a truncated report.
 fn warn_if_truncated(name: &str, mode: SecurityMode, report: &SimReport) {
@@ -208,6 +220,14 @@ pub struct SuiteOptions {
     pub shared_warmup: bool,
     /// cs-snap result cache directory.
     pub checkpoint_dir: Option<PathBuf>,
+    /// Campaign directory holding the crash-safe journal. When set, a
+    /// journal is opened (or resumed) there, completed cells are replayed
+    /// without re-simulating, and every finished cell is recorded — so a
+    /// killed suite can be rerun with the same directory and produce a
+    /// byte-identical document. Ignored (with a warning) under
+    /// `shared_warmup`, whose snapshot-forking protocol has no journaled
+    /// per-cell results.
+    pub resume_dir: Option<PathBuf>,
 }
 
 impl SuiteOptions {
@@ -221,6 +241,30 @@ impl SuiteOptions {
             ring_capacity: crate::cli::DEFAULT_RING_CAPACITY,
             shared_warmup: false,
             checkpoint_dir: None,
+            resume_dir: None,
+        }
+    }
+
+    /// The journal identity of this suite: everything that determines the
+    /// *results* (sizing, modes, workloads) and nothing that only affects
+    /// execution (threads, ring capacity), so an interrupted campaign may
+    /// resume at a different parallelism.
+    pub fn journal_header(&self) -> JournalHeader {
+        let mut modes = self.modes.clone();
+        modes.retain(|m| *m != SecurityMode::NonSecure);
+        modes.insert(0, SecurityMode::NonSecure);
+        let mode_names: Vec<&str> = modes.iter().map(|m| m.name()).collect();
+        let workload_names: Vec<&str> = self.workloads.iter().map(|w| w.name).collect();
+        JournalHeader {
+            campaign: "cs-bench-suite".to_string(),
+            config: format!(
+                "insts={} seed={} warmup={} modes={} workloads={}",
+                self.cfg.insts,
+                self.cfg.seed,
+                warmup_insts(self.cfg.insts),
+                mode_names.join(","),
+                workload_names.join(",")
+            ),
         }
     }
 }
@@ -236,6 +280,8 @@ pub struct SuiteOutcome {
     pub failed: Vec<(SecurityMode, String)>,
     /// Runs served from the checkpoint cache.
     pub cache_hits: u64,
+    /// Runs replayed from the campaign journal (resume).
+    pub resumed: u64,
     /// Shared-warmup accounting (zero when not enabled).
     pub warmup: WarmupShareStats,
     /// Work-stealing pool counters.
@@ -267,6 +313,28 @@ pub fn run_suite(opts: &SuiteOptions) -> SuiteOutcome {
         .as_deref()
         .filter(|_| !opts.shared_warmup);
 
+    // Open (or resume) the campaign journal. A journal that belongs to a
+    // different campaign is refused up front by the CLI preflight
+    // (`journal::check_resume`); reaching that state through the library
+    // degrades to running without a journal rather than mixing results.
+    let journal: Option<Journal> = opts.resume_dir.as_deref().and_then(|dir| {
+        if opts.shared_warmup {
+            eprintln!(
+                "warning: --resume is ignored with shared warmup \
+                 (the snapshot-forking protocol has no journaled per-cell results)"
+            );
+            return None;
+        }
+        let store = shared_dir_store(dir) as std::sync::Arc<dyn ArtifactStore>;
+        match Journal::open(store, &opts.journal_header()) {
+            Ok(j) => Some(j),
+            Err(e) => {
+                eprintln!("warning: not journaling this campaign: {e}");
+                None
+            }
+        }
+    });
+
     let mut host = MetricsRegistry::new();
     let suite_start = Instant::now();
     let exec_cfg = ExecConfig {
@@ -279,6 +347,7 @@ pub fn run_suite(opts: &SuiteOptions) -> SuiteOutcome {
     let mut warmup = WarmupShareStats::default();
     let mut failed: Vec<(SecurityMode, String)> = Vec::new();
     let mut cache_hits = 0u64;
+    let mut resumed = 0u64;
     let (mut mode_rows, exec_stats): (Vec<Vec<RunRow>>, ExecStats) = if opts.shared_warmup {
         // One task per workload: all of its modes fork one warm snapshot.
         let outcome = run_indexed(workloads.len(), &exec_cfg, |wi| {
@@ -300,13 +369,39 @@ pub fn run_suite(opts: &SuiteOptions) -> SuiteOutcome {
         (per_mode, outcome.stats)
     } else {
         // One task per matrix cell: stealing balances across the whole
-        // modes×workloads matrix, not within one mode at a time.
+        // modes×workloads matrix, not within one mode at a time. With a
+        // journal, completed cells replay from it (skipping simulation
+        // entirely) and fresh completions are recorded as they land, so a
+        // SIGKILL costs only the in-flight cells.
         let nw = workloads.len();
+        let journal = journal.as_ref();
         let outcome = run_indexed(modes.len() * nw, &exec_cfg, |i| {
             let (mode, w) = (modes[i / nw], &workloads[i % nw]);
+            let task_id = format!("{}/{}", mode.name(), w.name);
+            if let Some(payload) = journal.and_then(|j| j.completed(&task_id)) {
+                match cleanupspec_obs::JsonValue::parse(&payload)
+                    .and_then(|v| cleanupspec::snap::parse_report(&v))
+                {
+                    Ok(r) => return ((w.name.to_string(), r, 0.0, 0, 0), RunSource::Journal),
+                    Err(e) => {
+                        eprintln!("warning: re-running {task_id}: journaled result unusable ({e})")
+                    }
+                }
+            }
             let (r, wall, rec, drop, cached) =
                 run_one(w, mode, &cfg, opts.ring_capacity, checkpoint_dir);
-            ((w.name.to_string(), r, wall, rec, drop), cached)
+            if let Some(j) = journal {
+                // Only completed (non-truncated) runs are replayable facts.
+                if r.stop.as_ref().is_none_or(|s| s.is_success()) {
+                    j.record(&task_id, &cleanupspec::snap::report_json(&r));
+                }
+            }
+            let source = if cached {
+                RunSource::Checkpoint
+            } else {
+                RunSource::Fresh
+            };
+            ((w.name.to_string(), r, wall, rec, drop), source)
         });
         for f in &outcome.failures {
             failed.push((
@@ -319,8 +414,12 @@ pub fn run_suite(opts: &SuiteOptions) -> SuiteOutcome {
             .map(|_| {
                 (0..nw)
                     .filter_map(|_| slots.next().flatten())
-                    .map(|(row, cached)| {
-                        cache_hits += u64::from(cached);
+                    .map(|(row, source)| {
+                        match source {
+                            RunSource::Fresh => {}
+                            RunSource::Checkpoint => cache_hits += 1,
+                            RunSource::Journal => resumed += 1,
+                        }
                         row
                     })
                     .collect()
@@ -346,6 +445,7 @@ pub fn run_suite(opts: &SuiteOptions) -> SuiteOutcome {
         }
     } else {
         host.add("checkpoint_hits", cache_hits);
+        host.add("journal_resumed", resumed);
     }
     for (mi, mode) in modes.iter().enumerate() {
         host.add_timing(
@@ -418,6 +518,7 @@ pub fn run_suite(opts: &SuiteOptions) -> SuiteOutcome {
         modes,
         failed,
         cache_hits,
+        resumed,
         warmup,
         exec: exec_stats,
         events: (total_events, total_dropped),

@@ -72,8 +72,10 @@ impl CheckpointKey {
 
 /// FNV-1a 64-bit over the canonical report JSON — cheap, dependency-free,
 /// and plenty to detect corruption or precision loss (this is an
-/// integrity check, not a security boundary).
-fn fnv1a64(bytes: &[u8]) -> u64 {
+/// integrity check, not a security boundary). Public because the bench
+/// crate's artifact store and campaign journal reuse the same digest for
+/// their sidecar checksums and per-record CRCs.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in bytes {
         h ^= u64::from(b);

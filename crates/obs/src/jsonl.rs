@@ -20,6 +20,8 @@ pub struct JsonlSink<W: Write + Send> {
     /// writer out from under the `Drop` impl.
     out: Option<W>,
     written: u64,
+    io_errors: u64,
+    warned: bool,
 }
 
 impl<W: Write + Send> JsonlSink<W> {
@@ -28,12 +30,33 @@ impl<W: Write + Send> JsonlSink<W> {
         JsonlSink {
             out: Some(out),
             written: 0,
+            io_errors: 0,
+            warned: false,
         }
     }
 
     /// Lines written so far.
     pub fn written(&self) -> u64 {
         self.written
+    }
+
+    /// Write or flush failures so far. I/O errors never abort the
+    /// simulation, but they are no longer silent either: the first one
+    /// warns on stderr, every one is counted here, and `cs-trace`
+    /// publishes the total as the `sink_io_errors` host counter.
+    pub fn io_errors(&self) -> u64 {
+        self.io_errors
+    }
+
+    fn note_io_error(&mut self, what: &str, e: &std::io::Error) {
+        self.io_errors += 1;
+        if !self.warned {
+            self.warned = true;
+            eprintln!(
+                "warning: jsonl sink {what} failed ({e}); \
+                 continuing with dropped lines (counted in io_errors)"
+            );
+        }
     }
 
     /// Consumes the sink, returning the flushed writer.
@@ -46,17 +69,22 @@ impl<W: Write + Send> JsonlSink<W> {
 
 impl<W: Write + Send> EventSink for JsonlSink<W> {
     fn record(&mut self, cycle: u64, event: &SimEvent) {
-        // I/O errors intentionally do not abort the simulation; they
-        // surface as a short file, which downstream tooling detects.
+        // I/O errors intentionally do not abort the simulation; the run
+        // keeps going with a short file, a one-time warning, and an
+        // exact dropped-line count.
         if let Some(out) = self.out.as_mut() {
-            let _ = writeln!(out, "{}", event_to_json(cycle, event));
-            self.written += 1;
+            match writeln!(out, "{}", event_to_json(cycle, event)) {
+                Ok(()) => self.written += 1,
+                Err(e) => self.note_io_error("write", &e),
+            }
         }
     }
 
     fn finish(&mut self) {
         if let Some(out) = self.out.as_mut() {
-            let _ = out.flush();
+            if let Err(e) = out.flush() {
+                self.note_io_error("flush", &e);
+            }
         }
     }
 }
@@ -93,6 +121,25 @@ mod tests {
         assert_eq!(lines.len(), 2);
         assert!(lines[0].contains("\"kind\": \"dram-writeback\""));
         assert!(lines[1].contains("\"cycle\": 5"));
+    }
+
+    #[test]
+    fn io_errors_are_counted_not_silently_dropped() {
+        struct FailingWriter;
+        impl Write for FailingWriter {
+            fn write(&mut self, _: &[u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::other("disk full"))
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut sink = JsonlSink::new(FailingWriter);
+        sink.record(1, &SimEvent::DramWriteback { line: 2 });
+        sink.record(2, &SimEvent::DramWriteback { line: 3 });
+        sink.finish();
+        assert_eq!(sink.written(), 0);
+        assert_eq!(sink.io_errors(), 2);
     }
 
     #[test]

@@ -26,6 +26,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod atomicio;
 pub mod audit;
 pub mod commitlog;
 pub mod event;

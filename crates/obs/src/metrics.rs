@@ -140,27 +140,33 @@ impl MetricsRegistry {
     }
 
     /// Writes the JSON rendering to the configured output path (no-op
-    /// without one). Returns the number of bytes written.
+    /// without one), atomically — a crash mid-write can never leave a
+    /// torn metrics file where a previous complete one stood. Returns
+    /// the number of bytes written.
     pub fn write_output(&mut self) -> std::io::Result<usize> {
         let Some(path) = self.output.clone() else {
             return Ok(0);
         };
         let json = self.to_json();
-        std::fs::write(path, &json)?;
+        crate::atomicio::atomic_write(&path, json.as_bytes())?;
         self.flushed = true;
         Ok(json.len())
     }
 
     /// Flushes to the configured output, mirroring [`crate::EventSink::finish`].
     pub fn finish(&mut self) {
-        let _ = self.write_output();
+        if let Err(e) = self.write_output() {
+            eprintln!("warning: cannot write metrics output: {e}");
+        }
     }
 }
 
 impl Drop for MetricsRegistry {
     fn drop(&mut self) {
         if !self.flushed {
-            let _ = self.write_output();
+            if let Err(e) = self.write_output() {
+                eprintln!("warning: cannot write metrics output: {e}");
+            }
         }
     }
 }

@@ -81,13 +81,15 @@ impl PerfettoSink {
     }
 
     /// Renders and writes the trace to the configured output path (no-op
-    /// without one). Returns the number of bytes written.
+    /// without one), atomically — a crash mid-write can never leave a
+    /// torn, unloadable trace where a previous complete one stood.
+    /// Returns the number of bytes written.
     pub fn write_output(&mut self) -> std::io::Result<usize> {
         let Some(path) = self.output.clone() else {
             return Ok(0);
         };
         let json = self.render();
-        std::fs::write(path, &json)?;
+        crate::atomicio::atomic_write(&path, json.as_bytes())?;
         self.flushed = true;
         Ok(json.len())
     }
@@ -218,14 +220,18 @@ impl EventSink for PerfettoSink {
     }
 
     fn finish(&mut self) {
-        let _ = self.write_output();
+        if let Err(e) = self.write_output() {
+            eprintln!("warning: cannot write perfetto trace: {e}");
+        }
     }
 }
 
 impl Drop for PerfettoSink {
     fn drop(&mut self) {
         if !self.flushed {
-            let _ = self.write_output();
+            if let Err(e) = self.write_output() {
+                eprintln!("warning: cannot write perfetto trace: {e}");
+            }
         }
     }
 }
