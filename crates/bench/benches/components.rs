@@ -93,6 +93,7 @@ fn bench_mshr(b: &Bencher) {
                 state: MshrState::Pending,
                 record: SefeRecord::default(),
                 orphan: false,
+                episode: 0,
                 gen: 0,
             })
             .expect("space");

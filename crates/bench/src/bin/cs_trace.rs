@@ -5,28 +5,29 @@
 //! cs-trace programs/spectre_v1.s                      # dump + audit
 //! cs-trace --mode cleanupspec programs/spectre_v1.s --perfetto out.json
 //! cs-trace --mode nonsecure spectre_v1 --jsonl events.jsonl
-//! cs-trace --mode cleanupspec gcc --insts 20000 --filter cleanup
+//! cs-trace gcc --insts 20000 --filter cleanup-inval,cleanup-restore --core 0
 //! ```
 //!
-//! The positional argument is either a micro-ISA `.s` file (assembled
-//! with `cleanupspec-asm`) or a named workload: a Table-3 SPEC-like
-//! workload (`gcc`, `astar`, ...), `spectre_v1`, `meltdown`, or
-//! `mispredict_storm`.
+//! The positional argument is anything [`resolve_programs`] accepts: a
+//! micro-ISA `.s` file, a Table-3 SPEC-like workload (`gcc`, `astar`,
+//! ...), `spectre_v1`, `meltdown`, `mispredict_storm`, or `smith:<seed>`.
+//!
+//! `--filter` takes a comma list of exact event-kind names (validated
+//! against the `cs-events-v2` vocabulary) and `--core N` keeps only
+//! events attributed to core N; both apply to the dump *and* the JSONL
+//! export, but never to the audit or Perfetto sinks, which need the full
+//! stream to stay sound.
 
 use cleanupspec::modes::SecurityMode;
 use cleanupspec::sim::SimBuilder;
-use cleanupspec_asm::assemble;
 use cleanupspec_bench::cli::{CommonCli, DEFAULT_RING_CAPACITY, DEFAULT_SEED};
-use cleanupspec_core::isa::Program;
+use cleanupspec_bench::fuzz::fuzz_mem_config;
+use cleanupspec_bench::target::{resolve_programs, TARGET_HELP};
 use cleanupspec_core::system::RunLimits;
 use cleanupspec_obs::{
-    JsonlSink, LeakageAuditSink, MetricsRegistry, PerfettoSink, RingSink, Shared,
+    EventSink, JsonlSink, LeakageAuditSink, MetricsRegistry, PerfettoSink, RingSink, Shared,
+    SimEvent,
 };
-use cleanupspec_workloads::attacks::{
-    meltdown_program, spectre_v1_program, MeltdownConfig, SpectreConfig,
-};
-use cleanupspec_workloads::micro::mispredict_storm;
-use cleanupspec_workloads::spec::spec_workload;
 use std::io::BufWriter;
 use std::process::ExitCode;
 
@@ -36,10 +37,90 @@ struct Args {
     insts: u64,
     perfetto: Option<String>,
     jsonl: Option<String>,
-    filter: Option<String>,
+    filter: EventFilter,
     dump: usize,
     seed: u64,
     ring_capacity: usize,
+    squeeze: bool,
+}
+
+/// The `--filter`/`--core` predicate shared by the dump and the JSONL
+/// export.
+#[derive(Clone, Default)]
+struct EventFilter {
+    /// Exact kind names to keep (`None` = every kind).
+    kinds: Option<Vec<String>>,
+    /// Core to keep (`None` = every core; core-less events are kept).
+    core: Option<usize>,
+}
+
+impl EventFilter {
+    /// Parses a comma list of kinds, rejecting names outside the
+    /// `cs-events-v2` vocabulary (a typo must not silently empty the
+    /// trace).
+    fn parse_kinds(&mut self, list: &str) -> Result<(), String> {
+        let mut kinds = Vec::new();
+        for k in list.split(',').map(str::trim).filter(|k| !k.is_empty()) {
+            if !SimEvent::KINDS.contains(&k) {
+                return Err(format!(
+                    "unknown event kind {k:?} (kinds: {})",
+                    SimEvent::KINDS.join(", ")
+                ));
+            }
+            kinds.push(k.to_string());
+        }
+        if kinds.is_empty() {
+            return Err("--filter needs at least one kind".to_string());
+        }
+        self.kinds = Some(kinds);
+        Ok(())
+    }
+
+    fn is_active(&self) -> bool {
+        self.kinds.is_some() || self.core.is_some()
+    }
+
+    fn keeps(&self, event: &SimEvent) -> bool {
+        if let Some(kinds) = &self.kinds {
+            if !kinds.iter().any(|k| k == event.kind()) {
+                return false;
+            }
+        }
+        match (self.core, event.core()) {
+            (Some(want), Some(core)) => want == core,
+            _ => true,
+        }
+    }
+
+    /// One-line description for the dump banner.
+    fn describe(&self) -> String {
+        let mut parts = Vec::new();
+        if let Some(kinds) = &self.kinds {
+            parts.push(format!("kind in [{}]", kinds.join(", ")));
+        }
+        if let Some(core) = self.core {
+            parts.push(format!("core {core}"));
+        }
+        parts.join(", ")
+    }
+}
+
+/// Applies an [`EventFilter`] in front of another sink.
+struct FilteredSink<S: EventSink> {
+    filter: EventFilter,
+    inner: S,
+}
+
+impl<S: EventSink> EventSink for FilteredSink<S> {
+    fn record(&mut self, cycle: u64, event: &SimEvent) {
+        if self.filter.keeps(event) {
+            self.inner.record(cycle, event);
+        }
+    }
+
+    fn finish(&mut self) {
+        self.inner.finish();
+    }
 }
 
 fn mode_by_name(name: &str) -> Option<SecurityMode> {
@@ -56,8 +137,8 @@ fn common_cli() -> CommonCli {
 fn usage() -> ExitCode {
     eprintln!(
         "usage: cs-trace [--mode <name>] [--insts N] [--seed N] \
-         [--perfetto FILE] [--jsonl FILE] [--filter SUBSTR] [--dump N] \
-         [--ring-capacity N] <file.s | workload>"
+         [--perfetto FILE] [--jsonl FILE] [--filter <kind>[,<kind>...]] \
+         [--core N] [--dump N] [--ring-capacity N] [--squeeze] <file.s | workload>"
     );
     eprintln!("{}", common_cli().help());
     eprintln!(
@@ -68,9 +149,7 @@ fn usage() -> ExitCode {
             .collect::<Vec<_>>()
             .join(", ")
     );
-    eprintln!(
-        "workloads: any Table-3 name (gcc, astar, ...), spectre_v1, meltdown, mispredict_storm"
-    );
+    eprintln!("{TARGET_HELP}");
     ExitCode::FAILURE
 }
 
@@ -82,10 +161,11 @@ fn parse_args() -> Result<Args, ExitCode> {
         insts: 50_000,
         perfetto: None,
         jsonl: None,
-        filter: None,
+        filter: EventFilter::default(),
         dump: 40,
         seed: DEFAULT_SEED,
         ring_capacity: DEFAULT_RING_CAPACITY,
+        squeeze: false,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut it = argv.iter();
@@ -116,9 +196,19 @@ fn parse_args() -> Result<Args, ExitCode> {
                 None => return Err(usage()),
             },
             "--filter" => match it.next() {
-                Some(f) => args.filter = Some(f.clone()),
+                Some(f) => {
+                    if let Err(e) = args.filter.parse_kinds(f) {
+                        eprintln!("cs-trace: {e}");
+                        return Err(usage());
+                    }
+                }
                 None => return Err(usage()),
             },
+            "--core" => match it.next().and_then(|n| n.parse().ok()) {
+                Some(n) => args.filter.core = Some(n),
+                None => return Err(usage()),
+            },
+            "--squeeze" => args.squeeze = true,
             f if !f.starts_with('-') && args.target.is_empty() => {
                 args.target = f.to_string();
             }
@@ -134,31 +224,12 @@ fn parse_args() -> Result<Args, ExitCode> {
     Ok(args)
 }
 
-/// Resolves the positional argument to a program. `.s` paths are
-/// assembled; everything else is looked up as a named workload.
-fn resolve_program(target: &str, seed: u64) -> Result<Program, String> {
-    if target.ends_with(".s") {
-        let src =
-            std::fs::read_to_string(target).map_err(|e| format!("cannot read {target}: {e}"))?;
-        return assemble(target, &src).map_err(|e| format!("{target}:{e}"));
-    }
-    if let Some(w) = spec_workload(target) {
-        return Ok(w.build(seed ^ cleanupspec_mem::rng::mix_str(w.name)));
-    }
-    match target {
-        "spectre_v1" => Ok(spectre_v1_program(&SpectreConfig::default())),
-        "meltdown" => Ok(meltdown_program(&MeltdownConfig::default())),
-        "mispredict_storm" => Ok(mispredict_storm(2_000, 3, seed)),
-        _ => Err(format!("unknown workload or file: {target}")),
-    }
-}
-
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
         Err(e) => return e,
     };
-    let program = match resolve_program(&args.target, args.seed) {
+    let programs = match resolve_programs(&args.target, args.seed) {
         Ok(p) => p,
         Err(e) => {
             eprintln!("cs-trace: {e}");
@@ -175,11 +246,20 @@ fn main() -> ExitCode {
         .perfetto
         .as_ref()
         .map(|p| Shared::new(PerfettoSink::with_output(p)));
-    let mut builder = SimBuilder::new(args.mode)
-        .program(program)
+    let mut builder = SimBuilder::new(args.mode);
+    if args.squeeze {
+        // The fuzzer's 2-line L1 (same knob as cs-report --squeeze):
+        // constant victim pressure, so restore-path activity shows up in
+        // short traces.
+        builder = builder.mem_config(fuzz_mem_config(programs.len(), args.seed));
+    }
+    builder = builder
         .seed(args.seed)
         .sink(Box::new(ring.clone()))
         .sink(Box::new(audit.clone()));
+    for p in programs {
+        builder = builder.program(p);
+    }
     if let Some(p) = &perfetto {
         builder = builder.sink(Box::new(p.clone()));
     }
@@ -190,7 +270,12 @@ fn main() -> ExitCode {
         match std::fs::File::create(path) {
             Ok(f) => {
                 let sink = Shared::new(JsonlSink::new(BufWriter::new(f)));
-                builder = builder.sink(Box::new(sink.clone()));
+                // --filter/--core narrow the export too, so a capture of
+                // just the cleanup kinds stays small on long runs.
+                builder = builder.sink(Box::new(FilteredSink {
+                    filter: args.filter.clone(),
+                    inner: sink.clone(),
+                }));
                 jsonl = Some(sink);
             }
             Err(e) => {
@@ -283,21 +368,16 @@ fn main() -> ExitCode {
         println!(
             "--- last {} events{} ---",
             args.dump,
-            match &args.filter {
-                Some(f) => format!(" matching \"{f}\""),
-                None => String::new(),
+            if args.filter.is_active() {
+                format!(" matching {}", args.filter.describe())
+            } else {
+                String::new()
             }
         );
         let records = ring.with(|s| s.to_vec());
         let matching: Vec<_> = records
             .iter()
-            .filter(|r| match &args.filter {
-                Some(f) => {
-                    r.event.kind().contains(f.as_str())
-                        || r.event.layer().as_str().contains(f.as_str())
-                }
-                None => true,
-            })
+            .filter(|r| args.filter.keeps(&r.event))
             .copied()
             .collect();
         for r in matching.iter().rev().take(args.dump).rev() {

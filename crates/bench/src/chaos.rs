@@ -10,9 +10,11 @@
 //!
 //! Detectors (matrix columns):
 //!
-//! * `arch` / `cache` / `audit` — the three cs-smith oracles from
-//!   [`crate::fuzz`] (architectural equivalence, cache-restoration
-//!   membership + invariants, leakage audit).
+//! * `arch` / `cache` / `audit` / `episode` — the four cs-smith oracles
+//!   from [`crate::fuzz`] (architectural equivalence, cache-restoration
+//!   membership + invariants, leakage audit, and the episode-granular
+//!   undo-coverage ledger that pins each residue to the squash whose
+//!   cleanup should have covered it).
 //! * `watchdog` — the forward-progress watchdog: the run stopped with
 //!   [`StopReason::Livelock`] (how `leak-mshr-slot` surfaces once the
 //!   MSHR file exhausts).
@@ -77,7 +79,7 @@ pub struct FaultProbe {
     /// Times the fault actually fired.
     pub fires: u64,
     /// Detector labels that flagged the run (`arch`, `cache`, `audit`,
-    /// `watchdog`, `witness`).
+    /// `episode`, `watchdog`, `witness`).
     pub detectors: Vec<&'static str>,
     /// Oracle violations from the faulted run (empty for detections that
     /// are not oracle-shaped, e.g. the witness compare).
@@ -267,7 +269,7 @@ pub fn detection_matrix(start: u64, max_seeds: u64) -> Vec<MatrixRow> {
 }
 
 /// Detector labels, in matrix-column order.
-pub const DETECTORS: [&str; 5] = ["arch", "cache", "audit", "watchdog", "witness"];
+pub const DETECTORS: [&str; 6] = ["arch", "cache", "audit", "episode", "watchdog", "witness"];
 
 /// Renders the matrix as a fixed-width table plus a one-line verdict.
 pub fn render_matrix(rows: &[MatrixRow]) -> String {
@@ -685,6 +687,37 @@ mod tests {
             "expected the leakage audit to flag the missing restore, got {:?}",
             p.detectors
         );
+    }
+
+    /// Every fault class that corrupts *undo state* (as opposed to
+    /// starving resources, biasing randomness, or skewing indexing) must
+    /// be caught by the episode detector — i.e. produce at least one
+    /// `EpisodeLeak` pinned to a cleanup episode, not just global residue.
+    #[test]
+    fn undo_corrupting_faults_are_flagged_at_episode_granularity() {
+        // (kind, seed-scan budget). Most classes trip within a handful of
+        // seeds; early-coherence-downgrade needs remote M ownership to
+        // line up with a wrong-path load and historically first fires
+        // around seed 0xac, hence the wider budget.
+        let undo_faults = [
+            (FaultKind::SkipVictimRestore, 16),
+            (FaultKind::SkipTransientInvalidate, 16),
+            (FaultKind::DoubleUndo, 16),
+            (FaultKind::DropSefeEntry, 16),
+            (FaultKind::EarlyCoherenceDowngrade, 192),
+        ];
+        for (kind, budget) in undo_faults {
+            let caught = (0..budget).map(|s| probe_fault(kind, s)).any(|p| {
+                p.fires > 0
+                    && p.detectors.contains(&"episode")
+                    && p.violations.iter().any(|v| v.oracle == "episode")
+            });
+            assert!(
+                caught,
+                "{}: no seed in 0..{budget} produced an episode-ledger finding",
+                kind.name()
+            );
+        }
     }
 
     #[test]

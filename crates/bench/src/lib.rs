@@ -22,6 +22,7 @@ pub mod runner;
 pub mod store;
 pub mod suite;
 pub mod svg;
+pub mod target;
 
 pub use attribution::{diff_stacks, top_overheads, StackDelta};
 pub use bench_report::{
@@ -50,3 +51,4 @@ pub use runner::ExperimentConfig;
 #[allow(deprecated)]
 pub use runner::{run_all_spec, run_spec_workload};
 pub use suite::{run_suite, SuiteOptions, SuiteOutcome, SMOKE_WORKLOADS};
+pub use target::{resolve_programs, TARGET_HELP};

@@ -82,6 +82,8 @@ pub fn report_to_json(r: &SimReport) -> String {
             .float("mispredict_rate", c.mispredict_rate())
             .float("squash_pki", c.squash_pki());
         c.cleanup_duration.write_json(&mut w, "cleanup_duration");
+        c.episode_duration.write_json(&mut w, "episode_duration");
+        c.episode_loads.write_json(&mut w, "episode_loads");
         // Top-down cycle accounting: one bucket per StallCause; the
         // components sum exactly to the report's total cycles.
         w.open_object(Some("cpi_stack"));
@@ -158,6 +160,8 @@ mod tests {
             "\"mshr_occupancy\"",
             "\"sefe_occupancy\"",
             "\"cleanup_duration\"",
+            "\"episode_duration\"",
+            "\"episode_loads\"",
             "\"traffic\"",
             "\"cores\"",
             "\"l1_miss_rate\"",

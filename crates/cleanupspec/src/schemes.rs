@@ -268,7 +268,7 @@ impl CleanupSpec {
                 }
                 if restore_evictions {
                     if let Some(victim) = sefe.l1_evict {
-                        mem.cleanup_restore(info.core, victim, sefe.l1_evict_dirty);
+                        mem.cleanup_restore(info.core, victim, sefe.l1_evict_dirty, line);
                         self.stats.restores += 1;
                         ops += 1;
                     }

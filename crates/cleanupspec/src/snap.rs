@@ -33,7 +33,8 @@ use cleanupspec_mem::stats::{MemStats, MsgClass, Traffic};
 use cleanupspec_obs::{Histogram, JsonValue, JsonWriter};
 
 /// Format tag; bump on any schema change to invalidate stale caches.
-pub const FORMAT: &str = "cs-snap-v1";
+/// v2: per-core `episode_duration` / `episode_loads` histograms.
+pub const FORMAT: &str = "cs-snap-v2";
 
 /// The complete simulation configuration a checkpoint caches.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -350,6 +351,8 @@ pub fn report_json(r: &SimReport) -> String {
             w.int(name, get(c));
         }
         write_histogram(&mut w, "cleanup_duration", &c.cleanup_duration);
+        write_histogram(&mut w, "episode_duration", &c.episode_duration);
+        write_histogram(&mut w, "episode_loads", &c.episode_loads);
         w.open_object(Some("cpi_stack"));
         for (cause, n) in c.cpi_stack.iter() {
             w.int(cause.name(), n);
@@ -425,6 +428,9 @@ pub fn parse_report(v: &JsonValue) -> Result<SimReport, String> {
         }
         c.cleanup_duration =
             parse_histogram(cv.get("cleanup_duration").ok_or("core: missing hist")?)?;
+        c.episode_duration =
+            parse_histogram(cv.get("episode_duration").ok_or("core: missing hist")?)?;
+        c.episode_loads = parse_histogram(cv.get("episode_loads").ok_or("core: missing hist")?)?;
         let sv = cv.get("cpi_stack").ok_or("core: missing cpi_stack")?;
         let mut stack = CpiStack::new();
         for cause in StallCause::ALL {

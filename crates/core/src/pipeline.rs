@@ -170,6 +170,13 @@ enum SquashPhase {
     WaitInflight {
         mispredict_at: Cycle,
         loads: Vec<SquashedLoad>,
+        /// Cleanup episode id opened by the first squash of this phase.
+        /// Squashes merging in while waiting share it: they widen one
+        /// cleanup invocation, which is what an episode is.
+        episode: u64,
+        /// Sequence number of the squash that opened the episode (the
+        /// "triggering squash" stamped on cleanup events).
+        seq: u64,
     },
 }
 
@@ -204,6 +211,10 @@ pub struct Pipeline {
     /// full (reset at the top of every tick; cycle accounting reads it).
     mshr_blocked: bool,
     squash: SquashPhase,
+    /// Cleanup episodes opened so far (monotonic; the id of the episode
+    /// currently open or most recently closed). Incremented only when a
+    /// squash arrives while `Running` — merged squashes share an id.
+    episodes: u64,
     /// A fatal (unhandled) fault was raised: halt once its cleanup is done.
     halt_after_squash: bool,
     load_id_ctr: u64,
@@ -235,6 +246,7 @@ impl Pipeline {
             cleanup_stall_until: 0,
             mshr_blocked: false,
             squash: SquashPhase::Running,
+            episodes: 0,
             halt_after_squash: false,
             load_id_ctr: 0,
             stats: CoreStats::default(),
@@ -265,6 +277,18 @@ impl Pipeline {
     /// Core statistics.
     pub fn stats(&self) -> &CoreStats {
         &self.stats
+    }
+
+    /// Cleanup episodes opened so far (the per-core episode-id counter).
+    pub fn episodes(&self) -> u64 {
+        self.episodes
+    }
+
+    /// Overwrites the episode counter (cs-snap checkpoint load; episode
+    /// ids must keep climbing from where the snapshot left off so a
+    /// restored run re-emits the same ids as the uninterrupted one).
+    pub fn set_episodes(&mut self, n: u64) {
+        self.episodes = n;
     }
 
     /// Mutable stats access (the runner stamps total cycles).
@@ -583,6 +607,15 @@ impl Pipeline {
             let before = self.stats.squashed_insts;
             let new_loads = self.squash_younger(branch_seq);
             let n = self.stats.squashed_insts - before;
+            // A squash while Running opens a fresh episode; one that lands
+            // while a cleanup is already pending joins (widens) it.
+            let episode = match &self.squash {
+                SquashPhase::WaitInflight { episode, .. } => *episode,
+                SquashPhase::Running => {
+                    self.episodes += 1;
+                    self.episodes
+                }
+            };
             self.emit(
                 now,
                 TraceEvent::Squash {
@@ -596,9 +629,10 @@ impl Pipeline {
                     core: self.core.index(),
                     seq: branch_seq,
                     squashed: n,
+                    episode,
                 },
             );
-            self.emit_squashed_loads(now, &new_loads);
+            self.emit_squashed_loads(now, &new_loads, episode);
             self.fetch_pc = redirect;
             self.fetch_halted = false;
             match &mut self.squash {
@@ -611,6 +645,8 @@ impl Pipeline {
                     self.squash = SquashPhase::WaitInflight {
                         mispredict_at: now,
                         loads: new_loads,
+                        episode,
+                        seq: branch_seq,
                     };
                 }
             }
@@ -625,10 +661,20 @@ impl Pipeline {
         if let SquashPhase::WaitInflight { mispredict_at, .. } = self.squash {
             let must_wait = scheme.waits_for_older_inflight() && self.any_inflight_load();
             if !must_wait {
-                let loads = match std::mem::replace(&mut self.squash, SquashPhase::Running) {
-                    SquashPhase::WaitInflight { loads, .. } => loads,
-                    SquashPhase::Running => unreachable!(),
-                };
+                let (loads, episode, seq) =
+                    match std::mem::replace(&mut self.squash, SquashPhase::Running) {
+                        SquashPhase::WaitInflight {
+                            loads,
+                            episode,
+                            seq,
+                            ..
+                        } => (loads, episode, seq),
+                        SquashPhase::Running => unreachable!(),
+                    };
+                // Register the episode with the hierarchy before the scheme
+                // runs: every cleanup event the undo emits (inval, restore,
+                // epoch bump, dropped fill) is stamped with this id.
+                mem.begin_cleanup_episode(self.core, episode, seq);
                 let resp = scheme.on_squash(
                     mem,
                     SquashInfo {
@@ -642,12 +688,15 @@ impl Pipeline {
                 self.stats.squash_wait_cycles += now - mispredict_at;
                 self.stats.squash_cleanup_cycles += resume - now;
                 self.stats.cleanup_duration.record(resume - now);
+                self.stats.episode_duration.record(resume - mispredict_at);
+                self.stats.episode_loads.record(loads.len() as u64);
                 self.obs.emit(
                     now,
                     SimEvent::CleanupStart {
                         core: self.core.index(),
                         loads: loads.len() as u64,
                         stall: resume - now,
+                        episode,
                     },
                 );
                 self.obs.emit(
@@ -655,6 +704,7 @@ impl Pipeline {
                     SimEvent::CleanupEnd {
                         core: self.core.index(),
                         stall: resume - now,
+                        episode,
                     },
                 );
                 self.fetch_stall_until = self.fetch_stall_until.max(resume);
@@ -668,7 +718,7 @@ impl Pipeline {
 
     /// Emits one [`SimEvent::SquashedLoad`] per squashed load with a known
     /// line (the leakage-audit sink correlates these with cleanup events).
-    fn emit_squashed_loads(&mut self, now: Cycle, loads: &[SquashedLoad]) {
+    fn emit_squashed_loads(&mut self, now: Cycle, loads: &[SquashedLoad], episode: u64) {
         if !self.obs.is_enabled() {
             return;
         }
@@ -680,6 +730,7 @@ impl Pipeline {
                         core: self.core.index(),
                         line: line.raw(),
                         issued: !matches!(l.state, SquashedLoadState::NotIssued),
+                        episode,
                     },
                 );
             }
@@ -1012,7 +1063,15 @@ impl Pipeline {
             },
         );
         let loads = self.squash_younger(head_seq - 1);
-        self.emit_squashed_loads(now, &loads);
+        // A fault while Running opens an episode exactly like a mispredict.
+        let episode = match &self.squash {
+            SquashPhase::WaitInflight { episode, .. } => *episode,
+            SquashPhase::Running => {
+                self.episodes += 1;
+                self.episodes
+            }
+        };
+        self.emit_squashed_loads(now, &loads, episode);
         match self.program.fault_handler {
             Some(h) => {
                 self.fetch_pc = h;
@@ -1031,6 +1090,8 @@ impl Pipeline {
                 self.squash = SquashPhase::WaitInflight {
                     mispredict_at: now,
                     loads,
+                    episode,
+                    seq: head_seq,
                 };
             }
         }

@@ -260,6 +260,13 @@ pub struct CoreStats {
     /// Distribution of per-squash cleanup durations (cycles from the
     /// scheme's `on_squash` to its resume cycle).
     pub cleanup_duration: Histogram,
+    /// Distribution of full cleanup-episode durations: first squash of
+    /// the episode to the scheme's resume cycle (inflight wait + cleanup
+    /// walk), one sample per episode.
+    pub episode_duration: Histogram,
+    /// Distribution of episode sizes: squashed loads handed to one
+    /// cleanup invocation (merged squashes count once, combined).
+    pub episode_loads: Histogram,
     /// Top-down cycle accounting: exactly one [`StallCause`] per cycle,
     /// summing to `cycles`.
     pub cpi_stack: CpiStack,

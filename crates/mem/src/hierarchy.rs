@@ -281,6 +281,13 @@ pub struct MemHierarchy {
     /// with it. Exact in a live simulation, where `advance(now)` runs each
     /// cycle before the cores act.
     now_hint: Cycle,
+    /// Per-core cleanup episode currently registered by the pipeline's
+    /// squash site ([`MemHierarchy::begin_cleanup_episode`]); stamped onto
+    /// every cleanup-side event. 0 = no episode registered yet.
+    episode: Vec<u64>,
+    /// Sequence number of the squash that opened each core's registered
+    /// episode (stamped onto `CleanupInval`/`CleanupRestore`).
+    episode_seq: Vec<u64>,
 }
 
 impl MemHierarchy {
@@ -356,6 +363,8 @@ impl MemHierarchy {
             faults: FaultInjector::disabled(),
             miss_prov: vec![HashMap::new(); cfg.num_cores],
             now_hint: 0,
+            episode: vec![0; cfg.num_cores],
+            episode_seq: vec![0; cfg.num_cores],
             cfg,
         })
     }
@@ -402,6 +411,22 @@ impl MemHierarchy {
     /// Current CleanupSpec epoch of a core.
     pub fn epoch(&self, core: CoreId) -> EpochId {
         self.epoch[core.index()]
+    }
+
+    /// Registers the cleanup episode about to run for `core`. The pipeline
+    /// calls this from its squash site immediately before handing the
+    /// squashed loads to the scheme, mirroring the `now_hint` pattern:
+    /// cleanup entry points (`cleanup_invalidate`, `cleanup_restore`,
+    /// `drop_core_inflight`) have no episode parameter of their own and
+    /// stamp their events from this registration instead.
+    pub fn begin_cleanup_episode(&mut self, core: CoreId, episode: u64, seq: u64) {
+        self.episode[core.index()] = episode;
+        self.episode_seq[core.index()] = seq;
+    }
+
+    /// The cleanup episode currently registered for `core` (0 = none).
+    pub fn current_episode(&self, core: CoreId) -> u64 {
+        self.episode[core.index()]
     }
 
     /// Aggregate statistics.
@@ -600,18 +625,25 @@ impl MemHierarchy {
             // transiently installed by ANOTHER core is serviced as a dummy
             // miss — from memory if the L2 copy itself is transient, else
             // from the L2 — with no state change at all.
-            let l2_spec_other = l2line.spec.is_some_and(|t| t.core != core);
+            let spec_owner = l2line.spec.map(|t| t.core);
+            let l2_spec_other = spec_owner.is_some_and(|o| o != core);
             if self.cfg.window_protection && l2_spec_other {
                 let latency = self.cfg.l2_effective_rt() + self.cfg.dram_rt;
                 self.traffic.add(cls, 4);
                 self.stats.record_path(LoadPath::DummyMiss);
                 self.stats.record_latency(LoadPath::DummyMiss, latency);
                 self.stats.classify(LoadClass::SafeCache);
+                // The owner's speculation window has not squashed yet, so
+                // the dummy miss belongs to the owner's *prospective*
+                // episode: the one that will open if the window squashes.
+                let owner = spec_owner.expect("l2_spec_other implies owner");
                 self.obs.emit(
                     now,
                     SimEvent::DummyMiss {
                         core: ci,
                         line: line.raw(),
+                        owner: owner.index(),
+                        episode: self.episode[owner.index()] + 1,
                     },
                 );
                 self.stats.count_provenance(provenance);
@@ -714,6 +746,7 @@ impl MemHierarchy {
                 state: MshrState::Pending,
                 record: SefeRecord::default(),
                 orphan: auto_free,
+                episode: 0,
                 gen: 0,
             })
             .map_err(|_| {
@@ -834,6 +867,7 @@ impl MemHierarchy {
                             SimEvent::DroppedFill {
                                 core: ci,
                                 line: entry.line.raw(),
+                                episode: entry.episode,
                             },
                         );
                         self.mshr[ci].clear_slot(slot);
@@ -1209,13 +1243,14 @@ impl MemHierarchy {
     pub fn drop_core_inflight(&mut self, core: CoreId) -> usize {
         let ci = core.index();
         self.epoch[ci] = self.epoch[ci].next();
-        let n = self.mshr[ci].drop_pending();
+        let n = self.mshr[ci].drop_pending(self.episode[ci]);
         self.obs.emit(
             self.now_hint,
             SimEvent::EpochBump {
                 core: ci,
                 epoch: u64::from(self.epoch[ci].raw()),
                 dropped: n as u64,
+                episode: self.episode[ci],
             },
         );
         if n > 0 {
@@ -1288,6 +1323,8 @@ impl MemHierarchy {
                 line: line.raw(),
                 l1,
                 l2,
+                seq: self.episode_seq[core.index()],
+                episode: self.episode[core.index()],
             },
         );
         if l1 {
@@ -1361,8 +1398,16 @@ impl MemHierarchy {
     /// equal the pre-speculation ones. If the line was picked up or updated
     /// by another core in between, the restore falls back to a clean Shared
     /// copy — the dirty data is already safe below, and reclaiming
-    /// ownership would violate single-writer.
-    pub fn cleanup_restore(&mut self, core: CoreId, line: LineAddr, was_dirty: bool) {
+    /// ownership would violate single-writer. `evictor` is the squashed
+    /// install whose eviction is being undone; it rides on the event so the
+    /// forensic ledger can pair restore with displacement.
+    pub fn cleanup_restore(
+        &mut self,
+        core: CoreId,
+        line: LineAddr,
+        was_dirty: bool,
+        evictor: LineAddr,
+    ) {
         // Fault hook: SkipVictimRestore silently drops the op — no event,
         // no stats, no refetch; the victim's absence is the leak.
         if self.faults.should_fire(FaultKind::SkipVictimRestore) {
@@ -1379,6 +1424,9 @@ impl MemHierarchy {
             SimEvent::CleanupRestore {
                 core: ci,
                 line: line.raw(),
+                evictor: evictor.raw(),
+                seq: self.episode_seq[ci],
+                episode: self.episode[ci],
             },
         );
         if self.l1[ci].probe(line).is_some() {
@@ -1665,7 +1713,7 @@ mod tests {
         // Undo in reverse order: invalidate install, restore victim if any.
         m.cleanup_invalidate(CoreId(0), attacker, rec.l1_fill, rec.l2_fill);
         if let Some(v) = rec.l1_evict {
-            m.cleanup_restore(CoreId(0), v, rec.l1_evict_dirty);
+            m.cleanup_restore(CoreId(0), v, rec.l1_evict_dirty, attacker);
         }
         let after = m.l1_snapshot(CoreId(0));
         assert_eq!(before, after, "L1 state fully rolled back");
@@ -1706,7 +1754,7 @@ mod tests {
         assert!(rec.l1_evict_dirty, "SEFE recorded the victim's dirty bit");
         // Squash: undo the install, then restore the victim.
         m.cleanup_invalidate(CoreId(0), attacker, rec.l1_fill, rec.l2_fill);
-        m.cleanup_restore(CoreId(0), victim, rec.l1_evict_dirty);
+        m.cleanup_restore(CoreId(0), victim, rec.l1_evict_dirty, attacker);
         let restored = m.l1(CoreId(0)).probe(victim).expect("victim restored");
         assert_eq!(restored.state, Mesi::Modified, "ownership reinstated");
         assert!(restored.dirty, "dirty bit reinstated");
@@ -1735,7 +1783,7 @@ mod tests {
         // data is consumed and superseded below core 0's L1.
         m.store(CoreId(1), victim, 1200);
         m.cleanup_invalidate(CoreId(0), attacker, rec.l1_fill, rec.l2_fill);
-        m.cleanup_restore(CoreId(0), victim, rec.l1_evict_dirty);
+        m.cleanup_restore(CoreId(0), victim, rec.l1_evict_dirty, attacker);
         // Restoring Modified + dirty now would fork the line's history;
         // the restore must fall back to a clean Shared copy instead.
         let restored = m.l1(CoreId(0)).probe(victim).expect("victim restored");

@@ -121,6 +121,11 @@ pub struct MshrEntry {
     /// In insecure modes, a squashed load's fill still installs (the leak
     /// CleanupSpec closes). Set by the squash handler instead of `Dropped`.
     pub orphan: bool,
+    /// Cleanup episode whose epoch bump dropped this entry (stamped by
+    /// [`MshrFile::drop_pending`]; 0 while the entry is live). The fill
+    /// lands cycles after the bump, so the `DroppedFill` event reads its
+    /// episode from here rather than from the then-current registration.
+    pub episode: u64,
     /// Allocation generation, to invalidate stale tokens.
     pub gen: u64,
 }
@@ -293,12 +298,16 @@ impl MshrFile {
     }
 
     /// Marks the still-pending entries of this core as dropped (CleanupSpec
-    /// epoch bump) and returns how many were dropped.
-    pub fn drop_pending(&mut self) -> usize {
+    /// epoch bump) and returns how many were dropped. Each dropped entry is
+    /// stamped with the cleanup `episode` doing the dropping, so the
+    /// `DroppedFill` emitted when the response lands is attributed to the
+    /// episode that orphaned it, not whatever episode is current then.
+    pub fn drop_pending(&mut self, episode: u64) -> usize {
         let mut n = 0;
         for e in self.slots.iter_mut().flatten() {
             if e.state == MshrState::Pending {
                 e.state = MshrState::Dropped;
+                e.episode = episode;
                 n += 1;
             }
         }
@@ -329,6 +338,7 @@ mod tests {
             state: MshrState::Pending,
             record: SefeRecord::default(),
             orphan: false,
+            episode: 0,
             gen: 0,
         }
     }
@@ -377,9 +387,11 @@ mod tests {
         let t1 = m.alloc(entry(1, 10)).unwrap();
         let t2 = m.alloc(entry(2, 10)).unwrap();
         m.get_mut(t2).unwrap().state = MshrState::Filled;
-        assert_eq!(m.drop_pending(), 1);
+        assert_eq!(m.drop_pending(3), 1);
         assert_eq!(m.get(t1).unwrap().state, MshrState::Dropped);
+        assert_eq!(m.get(t1).unwrap().episode, 3, "drop stamps the episode");
         assert_eq!(m.get(t2).unwrap().state, MshrState::Filled);
+        assert_eq!(m.get(t2).unwrap().episode, 0, "filled entry untouched");
     }
 
     #[test]

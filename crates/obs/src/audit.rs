@@ -369,7 +369,9 @@ impl EventSink for LeakageAuditSink {
                 }
                 c.forgive_evictor(line);
             }
-            SimEvent::CleanupInval { core, line, l1, l2 } => {
+            SimEvent::CleanupInval {
+                core, line, l1, l2, ..
+            } => {
                 self.cleanup_invals += 1;
                 let double = if let Some(w) = self.core(core).watch.get_mut(&line) {
                     let double = w.cleaned;
@@ -392,7 +394,7 @@ impl EventSink for LeakageAuditSink {
                     });
                 }
             }
-            SimEvent::CleanupRestore { core, line } => {
+            SimEvent::CleanupRestore { core, line, .. } => {
                 self.cleanup_restores += 1;
                 self.core(core)
                     .owed
@@ -458,6 +460,7 @@ mod tests {
                 core: 0,
                 seq: 1,
                 squashed: 3,
+                episode: 1,
             },
         );
         a.record(
@@ -466,6 +469,7 @@ mod tests {
                 core: 0,
                 line: 7,
                 issued: true,
+                episode: 1,
             },
         );
         a.record(
@@ -475,6 +479,8 @@ mod tests {
                 line: 7,
                 l1: true,
                 l2: true,
+                seq: 1,
+                episode: 1,
             },
         );
         let r = a.report();
@@ -494,6 +500,7 @@ mod tests {
                 core: 0,
                 line: 7,
                 issued: true,
+                episode: 1,
             },
         );
         let r = a.report();
@@ -512,6 +519,7 @@ mod tests {
                 core: 0,
                 line: 9,
                 issued: true,
+                episode: 1,
             },
         );
         // The fill lands AFTER the squash (insecure-mode orphan).
@@ -557,10 +565,20 @@ mod tests {
                 core: 0,
                 line: 9,
                 issued: true,
+                episode: 1,
             },
         );
         assert_eq!(a.report().residue[0].kind, ResidueKind::MissingRestore);
-        a.record(2, &SimEvent::CleanupRestore { core: 0, line: 5 });
+        a.record(
+            2,
+            &SimEvent::CleanupRestore {
+                core: 0,
+                line: 5,
+                evictor: 9,
+                seq: 1,
+                episode: 1,
+            },
+        );
         let r = a.report();
         assert!(r.clean(), "{r}");
         assert_eq!(r.cleanup_restores, 1);
@@ -599,6 +617,7 @@ mod tests {
                 core: 0,
                 line: 9,
                 issued: true,
+                episode: 1,
             },
         );
         let r = a.report();
@@ -629,6 +648,7 @@ mod tests {
                 core: 0,
                 line: 9,
                 issued: true,
+                episode: 1,
             },
         );
         assert!(!a.report().clean(), "due until the install's fate is known");
@@ -665,6 +685,7 @@ mod tests {
                 core: 0,
                 line: 9,
                 issued: true,
+                episode: 1,
             },
         );
         assert!(a.report().clean());
@@ -683,9 +704,17 @@ mod tests {
                 core: 0,
                 line: 7,
                 issued: true,
+                episode: 1,
             },
         );
-        a.record(2, &SimEvent::DroppedFill { core: 0, line: 7 });
+        a.record(
+            2,
+            &SimEvent::DroppedFill {
+                core: 0,
+                line: 7,
+                episode: 1,
+            },
+        );
         a.record(3, &issue(0, 7, true));
         a.record(4, &fill(0, 7, CacheLevel::L1));
         let r = a.report();
@@ -702,9 +731,17 @@ mod tests {
                 core: 0,
                 line: 3,
                 issued: true,
+                episode: 1,
             },
         );
-        a.record(2, &SimEvent::DroppedFill { core: 0, line: 3 });
+        a.record(
+            2,
+            &SimEvent::DroppedFill {
+                core: 0,
+                line: 3,
+                episode: 1,
+            },
+        );
         assert!(a.report().clean());
     }
 
@@ -719,6 +756,7 @@ mod tests {
                 core: 0,
                 line: 7,
                 issued: true,
+                episode: 1,
             },
         );
         // The correct path re-executes the same load non-speculatively.
@@ -758,11 +796,14 @@ mod tests {
             line: 7,
             l1: true,
             l2: true,
+            seq: 1,
+            episode: 1,
         };
         let squash = SimEvent::SquashedLoad {
             core: 0,
             line: 7,
             issued: true,
+            episode: 1,
         };
         let mut a = LeakageAuditSink::new();
         a.record(0, &issue(0, 7, true));

@@ -7,6 +7,13 @@
 
 use std::fmt;
 
+/// Version tag of the event vocabulary + JSONL field layout. Written as
+/// the first line of every JSONL trace (`{"schema": "cs-events-v2"}`) and
+/// checked by `cs-report` before replaying a trace: a report built from a
+/// trace with a different schema would silently mis-correlate episodes.
+/// Bump when an event gains/loses/renames a field or a kind changes.
+pub const EVENT_SCHEMA_VERSION: &str = "cs-events-v2";
+
 /// Which layer of the machine emitted an event.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum Layer {
@@ -178,6 +185,10 @@ pub enum SimEvent {
         seq: u64,
         /// Instructions squashed.
         squashed: u64,
+        /// Cleanup episode this squash opened or joined (1-based,
+        /// monotonically increasing per core). Squashes that merge into a
+        /// cleanup already waiting on in-flight loads share its episode.
+        episode: u64,
     },
     /// One squashed load (one event per load with a known line).
     SquashedLoad {
@@ -187,6 +198,8 @@ pub enum SimEvent {
         line: u64,
         /// Whether it had issued to the hierarchy before the squash.
         issued: bool,
+        /// Cleanup episode the load's undo belongs to.
+        episode: u64,
     },
     /// An architectural fault reached commit and flushed the window.
     Fault {
@@ -206,6 +219,8 @@ pub enum SimEvent {
         loads: u64,
         /// Cycles until issue resumes.
         stall: u64,
+        /// Cleanup episode being executed.
+        episode: u64,
     },
     /// Cleanup finished; stamped at the resume cycle.
     CleanupEnd {
@@ -213,6 +228,8 @@ pub enum SimEvent {
         core: usize,
         /// Cycles the cleanup stalled issue.
         stall: u64,
+        /// Cleanup episode that just closed.
+        episode: u64,
     },
 
     // ------------------------------------------------------------ cache
@@ -263,6 +280,13 @@ pub enum SimEvent {
         core: usize,
         /// Requested line.
         line: u64,
+        /// Core whose transient install is being hidden.
+        owner: usize,
+        /// The *prospective* cleanup episode of the owning core: the
+        /// window being protected has not squashed yet, so the id names
+        /// the episode that will open if it does (owner's last episode
+        /// + 1).
+        episode: u64,
     },
     /// GetS-Safe deferred a speculative request that would have downgraded
     /// another core's modified line.
@@ -361,6 +385,9 @@ pub enum SimEvent {
         core: usize,
         /// The fill's line.
         line: u64,
+        /// Cleanup episode whose epoch bump dropped the fill (stamped on
+        /// the MSHR entry at drop time; the fill itself lands later).
+        episode: u64,
     },
     /// An orphaned fill (owner squashed, entry kept alive in insecure
     /// modes) completed and installed anyway — the classic leak.
@@ -376,19 +403,31 @@ pub enum SimEvent {
     CleanupInval {
         /// Squashing core.
         core: usize,
-        /// Invalidated line.
+        /// Invalidated (speculatively installed) line.
         line: u64,
         /// Whether the L1 copy was targeted.
         l1: bool,
         /// Whether the L2 copy was targeted.
         l2: bool,
+        /// Sequence number of the squash that triggered the cleanup.
+        seq: u64,
+        /// Cleanup episode performing the undo.
+        episode: u64,
     },
     /// CleanupSpec re-installed a victim displaced by a speculative fill.
     CleanupRestore {
         /// Squashing core.
         core: usize,
-        /// Restored line.
+        /// Restored (victim) line.
         line: u64,
+        /// The speculatively installed line whose eviction is being
+        /// undone — the same line the paired [`SimEvent::CleanupInval`]
+        /// targets.
+        evictor: u64,
+        /// Sequence number of the squash that triggered the cleanup.
+        seq: u64,
+        /// Cleanup episode performing the undo.
+        episode: u64,
     },
     /// The core's load epoch advanced, orphan-dropping in-flight fills.
     EpochBump {
@@ -398,6 +437,8 @@ pub enum SimEvent {
         epoch: u64,
         /// Pending fills dropped by the bump.
         dropped: u64,
+        /// Cleanup episode that bumped the epoch.
+        episode: u64,
     },
     /// A speculative load committed; its SEFE/speculation tags cleared.
     SpecRetire {
@@ -441,6 +482,43 @@ pub enum FieldValue {
 }
 
 impl SimEvent {
+    /// Every kind name [`Self::kind`] can return, in declaration order.
+    /// CLI filters (`cs-trace --filter`) validate against this list so a
+    /// typo is an error instead of a silently empty trace.
+    pub const KINDS: [&'static str; 31] = [
+        "dispatch",
+        "load-issue",
+        "commit",
+        "squash",
+        "squashed-load",
+        "fault",
+        "cleanup-start",
+        "cleanup-end",
+        "fill",
+        "evict",
+        "back-inval",
+        "clflush",
+        "dummy-miss",
+        "gets-safe-defer",
+        "downgrade",
+        "livelock",
+        "snapshot-taken",
+        "snapshot-restored",
+        "mshr-alloc",
+        "mshr-retire",
+        "mshr-drop",
+        "sefe-overflow",
+        "dropped-fill",
+        "orphan-fill",
+        "cleanup-inval",
+        "cleanup-restore",
+        "epoch-bump",
+        "spec-retire",
+        "ceaser-remap",
+        "dram-read",
+        "dram-writeback",
+    ];
+
     /// Stable kebab-case event name.
     pub fn kind(&self) -> &'static str {
         match self {
@@ -578,6 +656,26 @@ impl SimEvent {
         }
     }
 
+    /// The cleanup episode the event belongs to, if it carries one.
+    /// `0` means "outside any attributed episode" (e.g. a cleanup call
+    /// issued directly by a unit test, before any squash registered an
+    /// episode) and is mapped to `None` here.
+    pub fn episode(&self) -> Option<u64> {
+        let ep = match *self {
+            SimEvent::Squash { episode, .. }
+            | SimEvent::SquashedLoad { episode, .. }
+            | SimEvent::CleanupStart { episode, .. }
+            | SimEvent::CleanupEnd { episode, .. }
+            | SimEvent::DummyMiss { episode, .. }
+            | SimEvent::DroppedFill { episode, .. }
+            | SimEvent::CleanupInval { episode, .. }
+            | SimEvent::CleanupRestore { episode, .. }
+            | SimEvent::EpochBump { episode, .. } => episode,
+            _ => return None,
+        };
+        (ep != 0).then_some(ep)
+    }
+
     /// Every field as `(name, value)` pairs, in declaration order. Generic
     /// renderers (JSONL, Perfetto args, `Display`) are built on this.
     pub fn fields(&self) -> Vec<(&'static str, FieldValue)> {
@@ -625,15 +723,23 @@ impl SimEvent {
                 core,
                 seq,
                 squashed,
+                episode,
             } => vec![
                 ("core", U64(core as u64)),
                 ("seq", U64(seq)),
                 ("squashed", U64(squashed)),
+                ("episode", U64(episode)),
             ],
-            SimEvent::SquashedLoad { core, line, issued } => vec![
+            SimEvent::SquashedLoad {
+                core,
+                line,
+                issued,
+                episode,
+            } => vec![
                 ("core", U64(core as u64)),
                 ("line", U64(line)),
                 ("issued", Bool(issued)),
+                ("episode", U64(episode)),
             ],
             SimEvent::Fault { core, seq, pc } => {
                 vec![
@@ -642,14 +748,26 @@ impl SimEvent {
                     ("pc", U64(pc)),
                 ]
             }
-            SimEvent::CleanupStart { core, loads, stall } => vec![
+            SimEvent::CleanupStart {
+                core,
+                loads,
+                stall,
+                episode,
+            } => vec![
                 ("core", U64(core as u64)),
                 ("loads", U64(loads)),
                 ("stall", U64(stall)),
+                ("episode", U64(episode)),
             ],
-            SimEvent::CleanupEnd { core, stall } => {
-                vec![("core", U64(core as u64)), ("stall", U64(stall))]
-            }
+            SimEvent::CleanupEnd {
+                core,
+                stall,
+                episode,
+            } => vec![
+                ("core", U64(core as u64)),
+                ("stall", U64(stall)),
+                ("episode", U64(episode)),
+            ],
             SimEvent::Fill {
                 core,
                 line,
@@ -682,15 +800,32 @@ impl SimEvent {
             }
             SimEvent::BackInval { core, line }
             | SimEvent::Clflush { core, line }
-            | SimEvent::DummyMiss { core, line }
             | SimEvent::SefeOverflow { core, line }
-            | SimEvent::DroppedFill { core, line }
             | SimEvent::OrphanFill { core, line }
-            | SimEvent::CleanupRestore { core, line }
             | SimEvent::SpecRetire { core, line }
             | SimEvent::DramRead { core, line } => {
                 vec![("core", U64(core as u64)), ("line", U64(line))]
             }
+            SimEvent::DummyMiss {
+                core,
+                line,
+                owner,
+                episode,
+            } => vec![
+                ("core", U64(core as u64)),
+                ("line", U64(line)),
+                ("owner", U64(owner as u64)),
+                ("episode", U64(episode)),
+            ],
+            SimEvent::DroppedFill {
+                core,
+                line,
+                episode,
+            } => vec![
+                ("core", U64(core as u64)),
+                ("line", U64(line)),
+                ("episode", U64(episode)),
+            ],
             SimEvent::GetsSafeDefer { core, line, owner } => vec![
                 ("core", U64(core as u64)),
                 ("line", U64(line)),
@@ -741,20 +876,44 @@ impl SimEvent {
             SimEvent::MshrDrop { core, dropped } => {
                 vec![("core", U64(core as u64)), ("dropped", U64(dropped))]
             }
-            SimEvent::CleanupInval { core, line, l1, l2 } => vec![
+            SimEvent::CleanupInval {
+                core,
+                line,
+                l1,
+                l2,
+                seq,
+                episode,
+            } => vec![
                 ("core", U64(core as u64)),
                 ("line", U64(line)),
                 ("l1", Bool(l1)),
                 ("l2", Bool(l2)),
+                ("seq", U64(seq)),
+                ("episode", U64(episode)),
+            ],
+            SimEvent::CleanupRestore {
+                core,
+                line,
+                evictor,
+                seq,
+                episode,
+            } => vec![
+                ("core", U64(core as u64)),
+                ("line", U64(line)),
+                ("evictor", U64(evictor)),
+                ("seq", U64(seq)),
+                ("episode", U64(episode)),
             ],
             SimEvent::EpochBump {
                 core,
                 epoch,
                 dropped,
+                episode,
             } => vec![
                 ("core", U64(core as u64)),
                 ("epoch", U64(epoch)),
                 ("dropped", U64(dropped)),
+                ("episode", U64(episode)),
             ],
             SimEvent::CeaserRemap { level, epoch } => {
                 vec![("level", Str(level.as_str())), ("epoch", U64(epoch))]
@@ -780,6 +939,154 @@ impl fmt::Display for SimEvent {
         }
         Ok(())
     }
+}
+
+/// One sample of every event variant, for exhaustiveness tests. Adding a
+/// variant without extending this list fails the schema-pinning test
+/// below, which is the point: every variant must be represented.
+#[cfg(test)]
+pub(crate) fn sample_events() -> Vec<SimEvent> {
+    vec![
+        SimEvent::Dispatch {
+            core: 0,
+            seq: 1,
+            pc: 2,
+        },
+        SimEvent::LoadIssue {
+            core: 0,
+            seq: 1,
+            line: 3,
+            path: PathKind::Mem,
+            spec: true,
+            latency: 100,
+        },
+        SimEvent::Commit {
+            core: 0,
+            seq: 1,
+            pc: 2,
+            line: Some(3),
+        },
+        SimEvent::Squash {
+            core: 0,
+            seq: 1,
+            squashed: 4,
+            episode: 1,
+        },
+        SimEvent::SquashedLoad {
+            core: 0,
+            line: 3,
+            issued: true,
+            episode: 1,
+        },
+        SimEvent::Fault {
+            core: 0,
+            seq: 1,
+            pc: 2,
+        },
+        SimEvent::CleanupStart {
+            core: 0,
+            loads: 2,
+            stall: 20,
+            episode: 1,
+        },
+        SimEvent::CleanupEnd {
+            core: 0,
+            stall: 20,
+            episode: 1,
+        },
+        SimEvent::Fill {
+            core: 0,
+            line: 3,
+            level: CacheLevel::L2,
+            spec: false,
+        },
+        SimEvent::Evict {
+            core: 0,
+            line: 3,
+            level: CacheLevel::L1,
+            dirty: true,
+            evictor: Some(9),
+        },
+        SimEvent::BackInval { core: 0, line: 3 },
+        SimEvent::Clflush { core: 0, line: 3 },
+        SimEvent::DummyMiss {
+            core: 0,
+            line: 3,
+            owner: 1,
+            episode: 2,
+        },
+        SimEvent::GetsSafeDefer {
+            core: 0,
+            line: 3,
+            owner: 1,
+        },
+        SimEvent::Downgrade {
+            owner: 1,
+            line: 3,
+            spec: false,
+        },
+        SimEvent::Livelock {
+            core: 0,
+            stalled_for: 200_000,
+            rob: 4,
+            head_pc: 0x10,
+            mshr: 8,
+            sefes: 8,
+        },
+        SimEvent::SnapshotTaken { at: 7 },
+        SimEvent::SnapshotRestored { at: 7 },
+        SimEvent::MshrAlloc {
+            core: 0,
+            line: 3,
+            spec: true,
+            occupancy: 1,
+        },
+        SimEvent::MshrRetire {
+            core: 0,
+            line: 3,
+            spec: true,
+            occupancy: 0,
+        },
+        SimEvent::MshrDrop {
+            core: 0,
+            dropped: 2,
+        },
+        SimEvent::SefeOverflow { core: 0, line: 3 },
+        SimEvent::DroppedFill {
+            core: 0,
+            line: 3,
+            episode: 1,
+        },
+        SimEvent::OrphanFill { core: 0, line: 3 },
+        SimEvent::CleanupInval {
+            core: 0,
+            line: 3,
+            l1: true,
+            l2: false,
+            seq: 1,
+            episode: 1,
+        },
+        SimEvent::CleanupRestore {
+            core: 0,
+            line: 3,
+            evictor: 9,
+            seq: 1,
+            episode: 1,
+        },
+        SimEvent::EpochBump {
+            core: 0,
+            epoch: 2,
+            dropped: 1,
+            episode: 1,
+        },
+        SimEvent::SpecRetire { core: 0, line: 3 },
+        SimEvent::CeaserRemap {
+            level: CacheLevel::L2,
+            epoch: 0,
+        },
+        SimEvent::DramRead { core: 0, line: 3 },
+        SimEvent::DramWriteback { line: 3 },
+    ]
 }
 
 #[cfg(test)]
@@ -834,120 +1141,110 @@ mod tests {
         }
     }
 
-    fn sample_events() -> Vec<SimEvent> {
-        vec![
-            SimEvent::Dispatch {
-                core: 0,
-                seq: 1,
-                pc: 2,
-            },
-            SimEvent::LoadIssue {
-                core: 0,
-                seq: 1,
-                line: 3,
-                path: PathKind::Mem,
-                spec: true,
-                latency: 100,
-            },
-            SimEvent::Commit {
-                core: 0,
-                seq: 1,
-                pc: 2,
-                line: Some(3),
-            },
-            SimEvent::Squash {
-                core: 0,
-                seq: 1,
-                squashed: 4,
-            },
-            SimEvent::SquashedLoad {
-                core: 0,
-                line: 3,
-                issued: true,
-            },
-            SimEvent::Fault {
-                core: 0,
-                seq: 1,
-                pc: 2,
-            },
-            SimEvent::CleanupStart {
-                core: 0,
-                loads: 2,
-                stall: 20,
-            },
-            SimEvent::CleanupEnd { core: 0, stall: 20 },
-            SimEvent::Fill {
-                core: 0,
-                line: 3,
-                level: CacheLevel::L2,
-                spec: false,
-            },
-            SimEvent::Evict {
-                core: 0,
-                line: 3,
-                level: CacheLevel::L1,
-                dirty: true,
-                evictor: Some(9),
-            },
-            SimEvent::BackInval { core: 0, line: 3 },
-            SimEvent::Clflush { core: 0, line: 3 },
-            SimEvent::DummyMiss { core: 0, line: 3 },
-            SimEvent::GetsSafeDefer {
-                core: 0,
-                line: 3,
-                owner: 1,
-            },
-            SimEvent::Downgrade {
-                owner: 1,
-                line: 3,
-                spec: false,
-            },
-            SimEvent::Livelock {
-                core: 0,
-                stalled_for: 200_000,
-                rob: 4,
-                head_pc: 0x10,
-                mshr: 8,
-                sefes: 8,
-            },
-            SimEvent::MshrAlloc {
-                core: 0,
-                line: 3,
-                spec: true,
-                occupancy: 1,
-            },
-            SimEvent::MshrRetire {
-                core: 0,
-                line: 3,
-                spec: true,
-                occupancy: 0,
-            },
-            SimEvent::MshrDrop {
-                core: 0,
-                dropped: 2,
-            },
-            SimEvent::SefeOverflow { core: 0, line: 3 },
-            SimEvent::DroppedFill { core: 0, line: 3 },
-            SimEvent::OrphanFill { core: 0, line: 3 },
-            SimEvent::CleanupInval {
-                core: 0,
-                line: 3,
-                l1: true,
-                l2: false,
-            },
-            SimEvent::CleanupRestore { core: 0, line: 3 },
-            SimEvent::EpochBump {
-                core: 0,
-                epoch: 2,
-                dropped: 1,
-            },
-            SimEvent::SpecRetire { core: 0, line: 3 },
-            SimEvent::CeaserRemap {
-                level: CacheLevel::L2,
-                epoch: 0,
-            },
-            SimEvent::DramRead { core: 0, line: 3 },
-            SimEvent::DramWriteback { line: 3 },
-        ]
+    /// The pinned `cs-events-v2` schema: every event kind and the exact
+    /// JSONL field names it emits, in order. Changing any line here is a
+    /// schema break — bump [`EVENT_SCHEMA_VERSION`] and update every
+    /// consumer (`cs-report` refuses traces with a different version).
+    const PINNED_SCHEMA: &[(&str, &str)] = &[
+        ("back-inval", "core,line"),
+        ("ceaser-remap", "level,epoch"),
+        ("cleanup-end", "core,stall,episode"),
+        ("cleanup-inval", "core,line,l1,l2,seq,episode"),
+        ("cleanup-restore", "core,line,evictor,seq,episode"),
+        ("cleanup-start", "core,loads,stall,episode"),
+        ("clflush", "core,line"),
+        ("commit", "core,seq,pc,line"),
+        ("dispatch", "core,seq,pc"),
+        ("downgrade", "owner,line,spec"),
+        ("dram-read", "core,line"),
+        ("dram-writeback", "line"),
+        ("dropped-fill", "core,line,episode"),
+        ("dummy-miss", "core,line,owner,episode"),
+        ("epoch-bump", "core,epoch,dropped,episode"),
+        ("evict", "core,line,level,dirty,by_spec,evictor"),
+        ("fault", "core,seq,pc"),
+        ("fill", "core,line,level,spec"),
+        ("gets-safe-defer", "core,line,owner"),
+        ("livelock", "core,stalled_for,rob,head_pc,mshr,sefes"),
+        ("load-issue", "core,seq,line,path,spec,latency"),
+        ("mshr-alloc", "core,line,spec,occupancy"),
+        ("mshr-drop", "core,dropped"),
+        ("mshr-retire", "core,line,spec,occupancy"),
+        ("orphan-fill", "core,line"),
+        ("sefe-overflow", "core,line"),
+        ("snapshot-restored", "at"),
+        ("snapshot-taken", "at"),
+        ("spec-retire", "core,line"),
+        ("squash", "core,seq,squashed,episode"),
+        ("squashed-load", "core,line,issued,episode"),
+    ];
+
+    /// Satellite: the `cs-events-v2` exhaustiveness test. Pins every
+    /// `SimEvent::kind()` and its JSONL field layout against
+    /// [`PINNED_SCHEMA`]; `sample_events()` must cover every variant
+    /// (the count is asserted so a new variant cannot slip in unsampled).
+    #[test]
+    fn event_schema_is_pinned() {
+        assert_eq!(EVENT_SCHEMA_VERSION, "cs-events-v2");
+        let events = sample_events();
+        let mut got: Vec<(String, String)> = events
+            .iter()
+            .map(|e| {
+                let names: Vec<&str> = e.fields().iter().map(|(n, _)| *n).collect();
+                (e.kind().to_string(), names.join(","))
+            })
+            .collect();
+        got.sort();
+        let want: Vec<(String, String)> = PINNED_SCHEMA
+            .iter()
+            .map(|(k, f)| (k.to_string(), f.to_string()))
+            .collect();
+        assert_eq!(
+            got.len(),
+            want.len(),
+            "sample_events() covers {} kinds, pinned schema has {} — \
+             a variant was added or removed without a schema decision",
+            got.len(),
+            want.len()
+        );
+        for (g, w) in got.iter().zip(want.iter()) {
+            assert_eq!(g, w, "event schema drifted; bump cs-events-v2 deliberately");
+        }
+    }
+
+    #[test]
+    fn kinds_list_matches_every_variant() {
+        let mut from_samples: Vec<&str> = sample_events().iter().map(|e| e.kind()).collect();
+        from_samples.sort_unstable();
+        from_samples.dedup();
+        let mut listed = SimEvent::KINDS.to_vec();
+        listed.sort_unstable();
+        assert_eq!(
+            from_samples, listed,
+            "SimEvent::KINDS drifted from the actual kind() names"
+        );
+    }
+
+    #[test]
+    fn episode_accessor_maps_zero_to_none() {
+        let e = SimEvent::CleanupInval {
+            core: 0,
+            line: 3,
+            l1: true,
+            l2: false,
+            seq: 7,
+            episode: 4,
+        };
+        assert_eq!(e.episode(), Some(4));
+        let unattributed = SimEvent::CleanupInval {
+            core: 0,
+            line: 3,
+            l1: true,
+            l2: false,
+            seq: 0,
+            episode: 0,
+        };
+        assert_eq!(unattributed.episode(), None);
+        assert_eq!(SimEvent::DramWriteback { line: 1 }.episode(), None);
     }
 }

@@ -5,6 +5,7 @@
 //! workspace is a flat tree of numbers and short strings, so a writer
 //! beats a serde dependency (which could not be resolved offline anyway).
 
+use crate::event::SimEvent;
 use std::fmt::Write as _;
 
 /// A minimal JSON value writer.
@@ -83,6 +84,13 @@ impl JsonWriter {
         self
     }
 
+    /// Writes a bare string element into the open array.
+    pub fn string_item(&mut self, value: &str) -> &mut Self {
+        self.comma();
+        let _ = write!(self.out, "\"{}\"", escape(value));
+        self
+    }
+
     /// Writes a float field (NaN/inf become null).
     pub fn float(&mut self, key: &str, value: f64) -> &mut Self {
         self.comma();
@@ -135,6 +143,218 @@ pub fn event_to_json(cycle: u64, event: &crate::event::SimEvent) -> String {
     }
     w.close_object();
     w.finish()
+}
+
+/// Deserializes one JSONL trace line back into `(cycle, event)` — the
+/// exact inverse of [`event_to_json`], used by `cs-report` to replay
+/// traces. Returns a descriptive error for unknown kinds or missing
+/// fields (a symptom of reading a trace from a different schema version).
+pub fn event_from_json(value: &crate::jsonparse::JsonValue) -> Result<(u64, SimEvent), String> {
+    use crate::event::{CacheLevel, PathKind};
+    use crate::jsonparse::JsonValue;
+    let kind = value
+        .get("kind")
+        .and_then(JsonValue::as_str)
+        .ok_or("missing \"kind\"")?;
+    let u = |field: &str| -> Result<u64, String> {
+        value
+            .get(field)
+            .and_then(JsonValue::as_u64)
+            .ok_or_else(|| format!("{kind}: missing or non-integer \"{field}\""))
+    };
+    let us = |field: &str| -> Result<usize, String> { u(field).map(|v| v as usize) };
+    let b = |field: &str| -> Result<bool, String> {
+        match value.get(field) {
+            Some(JsonValue::Bool(v)) => Ok(*v),
+            _ => Err(format!("{kind}: missing or non-bool \"{field}\"")),
+        }
+    };
+    let s = |field: &str| -> Result<&str, String> {
+        value
+            .get(field)
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| format!("{kind}: missing or non-string \"{field}\""))
+    };
+    let level = |field: &str| -> Result<CacheLevel, String> {
+        match s(field)? {
+            "l1" => Ok(CacheLevel::L1),
+            "l2" => Ok(CacheLevel::L2),
+            other => Err(format!("{kind}: unknown cache level {other:?}")),
+        }
+    };
+    let path = |field: &str| -> Result<PathKind, String> {
+        let name = s(field)?;
+        PathKind::ALL
+            .into_iter()
+            .find(|p| p.as_str() == name)
+            .ok_or_else(|| format!("{kind}: unknown path {name:?}"))
+    };
+    let cycle = u("cycle")?;
+    let event = match kind {
+        "dispatch" => SimEvent::Dispatch {
+            core: us("core")?,
+            seq: u("seq")?,
+            pc: u("pc")?,
+        },
+        "load-issue" => SimEvent::LoadIssue {
+            core: us("core")?,
+            seq: u("seq")?,
+            line: u("line")?,
+            path: path("path")?,
+            spec: b("spec")?,
+            latency: u("latency")?,
+        },
+        "commit" => SimEvent::Commit {
+            core: us("core")?,
+            seq: u("seq")?,
+            pc: u("pc")?,
+            line: value.get("line").and_then(JsonValue::as_u64),
+        },
+        "squash" => SimEvent::Squash {
+            core: us("core")?,
+            seq: u("seq")?,
+            squashed: u("squashed")?,
+            episode: u("episode")?,
+        },
+        "squashed-load" => SimEvent::SquashedLoad {
+            core: us("core")?,
+            line: u("line")?,
+            issued: b("issued")?,
+            episode: u("episode")?,
+        },
+        "fault" => SimEvent::Fault {
+            core: us("core")?,
+            seq: u("seq")?,
+            pc: u("pc")?,
+        },
+        "cleanup-start" => SimEvent::CleanupStart {
+            core: us("core")?,
+            loads: u("loads")?,
+            stall: u("stall")?,
+            episode: u("episode")?,
+        },
+        "cleanup-end" => SimEvent::CleanupEnd {
+            core: us("core")?,
+            stall: u("stall")?,
+            episode: u("episode")?,
+        },
+        "fill" => SimEvent::Fill {
+            core: us("core")?,
+            line: u("line")?,
+            level: level("level")?,
+            spec: b("spec")?,
+        },
+        "evict" => SimEvent::Evict {
+            core: us("core")?,
+            line: u("line")?,
+            level: level("level")?,
+            dirty: b("dirty")?,
+            evictor: if b("by_spec")? {
+                Some(u("evictor")?)
+            } else {
+                None
+            },
+        },
+        "back-inval" => SimEvent::BackInval {
+            core: us("core")?,
+            line: u("line")?,
+        },
+        "clflush" => SimEvent::Clflush {
+            core: us("core")?,
+            line: u("line")?,
+        },
+        "dummy-miss" => SimEvent::DummyMiss {
+            core: us("core")?,
+            line: u("line")?,
+            owner: us("owner")?,
+            episode: u("episode")?,
+        },
+        "gets-safe-defer" => SimEvent::GetsSafeDefer {
+            core: us("core")?,
+            line: u("line")?,
+            owner: us("owner")?,
+        },
+        "downgrade" => SimEvent::Downgrade {
+            owner: us("owner")?,
+            line: u("line")?,
+            spec: b("spec")?,
+        },
+        "livelock" => SimEvent::Livelock {
+            core: us("core")?,
+            stalled_for: u("stalled_for")?,
+            rob: u("rob")?,
+            head_pc: u("head_pc")?,
+            mshr: u("mshr")?,
+            sefes: u("sefes")?,
+        },
+        "snapshot-taken" => SimEvent::SnapshotTaken { at: u("at")? },
+        "snapshot-restored" => SimEvent::SnapshotRestored { at: u("at")? },
+        "mshr-alloc" => SimEvent::MshrAlloc {
+            core: us("core")?,
+            line: u("line")?,
+            spec: b("spec")?,
+            occupancy: u("occupancy")?,
+        },
+        "mshr-retire" => SimEvent::MshrRetire {
+            core: us("core")?,
+            line: u("line")?,
+            spec: b("spec")?,
+            occupancy: u("occupancy")?,
+        },
+        "mshr-drop" => SimEvent::MshrDrop {
+            core: us("core")?,
+            dropped: u("dropped")?,
+        },
+        "sefe-overflow" => SimEvent::SefeOverflow {
+            core: us("core")?,
+            line: u("line")?,
+        },
+        "dropped-fill" => SimEvent::DroppedFill {
+            core: us("core")?,
+            line: u("line")?,
+            episode: u("episode")?,
+        },
+        "orphan-fill" => SimEvent::OrphanFill {
+            core: us("core")?,
+            line: u("line")?,
+        },
+        "cleanup-inval" => SimEvent::CleanupInval {
+            core: us("core")?,
+            line: u("line")?,
+            l1: b("l1")?,
+            l2: b("l2")?,
+            seq: u("seq")?,
+            episode: u("episode")?,
+        },
+        "cleanup-restore" => SimEvent::CleanupRestore {
+            core: us("core")?,
+            line: u("line")?,
+            evictor: u("evictor")?,
+            seq: u("seq")?,
+            episode: u("episode")?,
+        },
+        "epoch-bump" => SimEvent::EpochBump {
+            core: us("core")?,
+            epoch: u("epoch")?,
+            dropped: u("dropped")?,
+            episode: u("episode")?,
+        },
+        "spec-retire" => SimEvent::SpecRetire {
+            core: us("core")?,
+            line: u("line")?,
+        },
+        "ceaser-remap" => SimEvent::CeaserRemap {
+            level: level("level")?,
+            epoch: u("epoch")?,
+        },
+        "dram-read" => SimEvent::DramRead {
+            core: us("core")?,
+            line: u("line")?,
+        },
+        "dram-writeback" => SimEvent::DramWriteback { line: u("line")? },
+        other => return Err(format!("unknown event kind {other:?}")),
+    };
+    Ok((cycle, event))
 }
 
 #[cfg(test)]
@@ -203,6 +423,48 @@ pub(crate) mod tests {
         assert_eq!(j.matches("{\"i\"").count(), 3);
         assert_eq!(j.matches("}, {").count(), 2);
         assert!(balanced(&j));
+    }
+
+    /// Every event variant survives a JSONL round trip bit-exactly —
+    /// the property `cs-report` trace replay depends on.
+    #[test]
+    fn every_event_round_trips_through_json() {
+        for (i, event) in crate::event::sample_events().iter().enumerate() {
+            let cycle = 10 + i as u64;
+            let line = event_to_json(cycle, event);
+            let parsed = crate::jsonparse::JsonValue::parse(&line).unwrap();
+            let (c, e) = event_from_json(&parsed).unwrap_or_else(|err| {
+                panic!("{}: {err}", event.kind());
+            });
+            assert_eq!(c, cycle, "{}", event.kind());
+            assert_eq!(&e, event, "{}", event.kind());
+        }
+    }
+
+    /// A `commit` without a line field (non-load) round trips too —
+    /// the one variant whose field list is dynamic.
+    #[test]
+    fn commit_without_line_round_trips() {
+        let e = SimEvent::Commit {
+            core: 1,
+            seq: 9,
+            pc: 0x40,
+            line: None,
+        };
+        let parsed = crate::jsonparse::JsonValue::parse(&event_to_json(3, &e)).unwrap();
+        assert_eq!(event_from_json(&parsed).unwrap(), (3, e));
+    }
+
+    #[test]
+    fn event_from_json_rejects_unknown_kind_and_missing_fields() {
+        let bad =
+            crate::jsonparse::JsonValue::parse(r#"{"cycle": 1, "kind": "warp-drive", "core": 0}"#)
+                .unwrap();
+        assert!(event_from_json(&bad).unwrap_err().contains("warp-drive"));
+        let missing =
+            crate::jsonparse::JsonValue::parse(r#"{"cycle": 1, "kind": "squash", "core": 0}"#)
+                .unwrap();
+        assert!(event_from_json(&missing).unwrap_err().contains("seq"));
     }
 
     #[test]

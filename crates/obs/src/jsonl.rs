@@ -1,13 +1,16 @@
 //! Streaming JSONL (one JSON object per line) sink.
 
-use crate::event::SimEvent;
+use crate::event::{SimEvent, EVENT_SCHEMA_VERSION};
 use crate::json::event_to_json;
 use crate::observer::EventSink;
 use std::io::Write;
 
 /// Writes each event as one JSON line to an arbitrary writer.
 ///
-/// Lines have the shape
+/// The first line is a header naming the schema version
+/// (`{"schema": "cs-events-v2"}`); consumers like `cs-report` refuse
+/// traces whose header does not match the vocabulary they were built
+/// against. Every following line has the shape
 /// `{"cycle": N, "layer": "...", "kind": "...", ...fields}` — grep-able,
 /// `jq`-able, and stable across runs for a fixed seed.
 ///
@@ -25,14 +28,21 @@ pub struct JsonlSink<W: Write + Send> {
 }
 
 impl<W: Write + Send> JsonlSink<W> {
-    /// Wraps a writer. Buffer it yourself (`BufWriter`) for file targets.
+    /// Wraps a writer and emits the schema header line. Buffer it
+    /// yourself (`BufWriter`) for file targets.
     pub fn new(out: W) -> Self {
-        JsonlSink {
+        let mut sink = JsonlSink {
             out: Some(out),
             written: 0,
             io_errors: 0,
             warned: false,
+        };
+        if let Some(out) = sink.out.as_mut() {
+            if let Err(e) = writeln!(out, "{{\"schema\": \"{EVENT_SCHEMA_VERSION}\"}}") {
+                sink.note_io_error("header write", &e);
+            }
         }
+        sink
     }
 
     /// Lines written so far.
@@ -115,12 +125,13 @@ mod tests {
             },
         );
         sink.finish();
-        assert_eq!(sink.written(), 2);
+        assert_eq!(sink.written(), 2, "header line is not counted as an event");
         let text = String::from_utf8(sink.into_inner()).unwrap();
         let lines: Vec<&str> = text.lines().collect();
-        assert_eq!(lines.len(), 2);
-        assert!(lines[0].contains("\"kind\": \"dram-writeback\""));
-        assert!(lines[1].contains("\"cycle\": 5"));
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], "{\"schema\": \"cs-events-v2\"}");
+        assert!(lines[1].contains("\"kind\": \"dram-writeback\""));
+        assert!(lines[2].contains("\"cycle\": 5"));
     }
 
     #[test]
@@ -139,7 +150,7 @@ mod tests {
         sink.record(2, &SimEvent::DramWriteback { line: 3 });
         sink.finish();
         assert_eq!(sink.written(), 0);
-        assert_eq!(sink.io_errors(), 2);
+        assert_eq!(sink.io_errors(), 3, "header + 2 events all failed");
     }
 
     #[test]
@@ -155,7 +166,7 @@ mod tests {
         let text = std::fs::read_to_string(&path).unwrap();
         assert_eq!(
             text.lines().count(),
-            2,
+            3,
             "drop lost buffered lines: {text:?}"
         );
         let _ = std::fs::remove_file(&path);

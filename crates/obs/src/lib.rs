@@ -29,6 +29,7 @@
 mod atomicio;
 pub mod audit;
 pub mod commitlog;
+pub mod episode;
 pub mod event;
 pub mod histogram;
 pub mod json;
@@ -41,9 +42,10 @@ pub mod ring;
 
 pub use audit::{AuditReport, AuditResidue, LeakageAuditSink, ResidueKind};
 pub use commitlog::{CommitEntry, CommitLogSink};
-pub use event::{CacheLevel, FieldValue, Layer, PathKind, SimEvent};
+pub use episode::{EpisodeBuilder, EpisodeLeak, EpisodeRecord, EpisodeReport, LeakKind};
+pub use event::{CacheLevel, FieldValue, Layer, PathKind, SimEvent, EVENT_SCHEMA_VERSION};
 pub use histogram::Histogram;
-pub use json::JsonWriter;
+pub use json::{event_from_json, event_to_json, JsonWriter};
 pub use jsonl::JsonlSink;
 pub use jsonparse::JsonValue;
 pub use metrics::{CounterSample, MetricsRegistry};

@@ -17,7 +17,7 @@ use crate::json::JsonWriter;
 use crate::metrics::CounterSample;
 use crate::observer::EventSink;
 use crate::ring::EventRecord;
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
 fn pid(layer: Layer) -> u64 {
     match layer {
@@ -139,6 +139,7 @@ impl PerfettoSink {
         for r in &self.events {
             self.write_event(&mut w, r);
         }
+        self.write_episode_spans(&mut w);
         for s in &self.host_counters {
             w.open_object(None)
                 .string("name", &s.name)
@@ -153,6 +154,47 @@ impl PerfettoSink {
         w.string("displayTimeUnit", "ms");
         w.close_object();
         w.finish()
+    }
+
+    /// One async ("b"/"e") span per cleanup episode, on the cleanup
+    /// process's core track: the whole squash-to-resume window reads as
+    /// a single named slice stacked above the individual undo events.
+    /// Episodes still open when the trace ends render as unterminated
+    /// begins (Perfetto draws them to the end of the timeline).
+    fn write_episode_spans(&self, w: &mut JsonWriter) {
+        let mut begins: BTreeMap<(u64, u64), u64> = BTreeMap::new();
+        let mut ends: BTreeMap<(u64, u64), u64> = BTreeMap::new();
+        for r in &self.events {
+            match r.event {
+                SimEvent::Squash { core, episode, .. } if episode != 0 => {
+                    begins.entry((core as u64, episode)).or_insert(r.cycle);
+                }
+                SimEvent::CleanupEnd { core, episode, .. } if episode != 0 => {
+                    ends.insert((core as u64, episode), r.cycle);
+                }
+                _ => {}
+            }
+        }
+        for (&(core, ep), &start) in &begins {
+            let id = format!("c{core}e{ep}");
+            let name = format!("episode {ep}");
+            let mut span = |ph: &str, ts: u64| {
+                w.open_object(None)
+                    .string("name", &name)
+                    .string("cat", "episode")
+                    .string("ph", ph)
+                    .string("id", &id)
+                    .int("pid", pid(Layer::Cleanup))
+                    .int("tid", core)
+                    .int("ts", ts);
+                w.open_object(Some("args")).int("episode", ep);
+                w.close_object().close_object();
+            };
+            span("b", start);
+            if let Some(&end) = ends.get(&(core, ep)) {
+                span("e", end.max(start));
+            }
+        }
     }
 
     fn write_event(&self, w: &mut JsonWriter, r: &EventRecord) {
@@ -332,6 +374,49 @@ mod tests {
         assert!(j.contains("\"name\": \"host\""), "{j}");
         assert!(j.contains("\"sim_kips\""), "{j}");
         assert!(j.contains(&format!("\"pid\": {HOST_PID}")), "{j}");
+    }
+
+    #[test]
+    fn episodes_render_as_async_spans() {
+        let mut s = PerfettoSink::new();
+        s.record(
+            10,
+            &SimEvent::Squash {
+                core: 0,
+                seq: 1,
+                squashed: 3,
+                episode: 1,
+            },
+        );
+        s.record(
+            30,
+            &SimEvent::CleanupEnd {
+                core: 0,
+                stall: 20,
+                episode: 1,
+            },
+        );
+        // A second episode left open: begin only.
+        s.record(
+            50,
+            &SimEvent::Squash {
+                core: 0,
+                seq: 9,
+                squashed: 1,
+                episode: 2,
+            },
+        );
+        let j = s.render();
+        assert!(crate::json::tests::balanced(&j), "{j}");
+        assert!(j.contains("\"ph\": \"b\""), "{j}");
+        assert!(j.contains("\"ph\": \"e\""), "{j}");
+        assert!(j.contains("\"id\": \"c0e1\""), "{j}");
+        assert!(j.contains("\"name\": \"episode 1\""), "{j}");
+        assert_eq!(
+            j.matches("\"id\": \"c0e2\"").count(),
+            1,
+            "open = begin only"
+        );
     }
 
     #[test]

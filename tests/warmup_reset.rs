@@ -74,6 +74,11 @@ fn reset_clears_every_stat_group() {
         0,
         "cleanup-duration histogram survived the reset"
     );
+    assert_eq!(
+        c.episode_duration.count() + c.episode_loads.count(),
+        0,
+        "episode histograms survived the reset"
+    );
 
     let m = sys.mem().stats();
     assert_eq!(
